@@ -1,0 +1,70 @@
+//! **Figures 3 and 4**: runtime of the unprotected baseline ("Base") and
+//! the fully protected system ("DVMC", i.e. DVMC + SafetyNet) for each
+//! consistency model and workload, normalized to the unprotected SC
+//! system. Figure 3 is the directory protocol (`--protocol=directory`,
+//! the default); Figure 4 is snooping (`--protocol=snooping`).
+//!
+//! Paper shape to reproduce: TSO's write buffer beats SC on almost every
+//! benchmark; PSO/RMO add little over TSO; DVMC slowdown is bounded
+//! (≤11% worst case, ≤6% in most configurations) and is largest for SC.
+
+use dvmc_bench::{fmt_pm, normalize, print_table, run_spec, runtime_stats, ExpOpts, RunSpec};
+use dvmc_consistency::Model;
+use dvmc_sim::Protection;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    println!(
+        "Figure {} — runtime normalized to unprotected SC ({:?} protocol, {} nodes, {} txns/thread, {} runs)",
+        if opts.protocol == dvmc_sim::Protocol::Directory { 3 } else { 4 },
+        opts.protocol,
+        opts.nodes,
+        opts.txns,
+        opts.runs
+    );
+
+    let header = vec![
+        "workload", "SC base", "SC dvmc", "TSO base", "TSO dvmc", "PSO base", "PSO dvmc",
+        "RMO base", "RMO dvmc",
+    ];
+    let mut rows = Vec::new();
+    for kind in dvmc_bench::workloads() {
+        let mut spec = RunSpec::new(&opts, kind);
+        // Baseline: unprotected SC.
+        spec.model = Model::Sc;
+        spec.protection = Protection::BASE;
+        let sc_base = runtime_stats(&run_spec(&opts, spec));
+        let mut row = vec![kind.to_string()];
+        for model in [Model::Sc, Model::Tso, Model::Pso, Model::Rmo] {
+            for protection in [Protection::BASE, Protection::FULL] {
+                let (mean, std) = if model == Model::Sc && protection == Protection::BASE {
+                    sc_base
+                } else {
+                    spec.model = model;
+                    spec.protection = protection;
+                    runtime_stats(&run_spec(&opts, spec))
+                };
+                row.push(fmt_pm(normalize((mean, std), sc_base.0)));
+            }
+        }
+        rows.push(row);
+    }
+    print_table("runtime normalized to unprotected SC", &header, &rows);
+
+    // Summary: the paper's headline claims.
+    println!("\nslowdown of DVMC vs its own base, per model (geomean over workloads):");
+    for model in [Model::Sc, Model::Tso, Model::Pso, Model::Rmo] {
+        let mut ratios = Vec::new();
+        for kind in dvmc_bench::workloads() {
+            let mut spec = RunSpec::new(&opts, kind);
+            spec.model = model;
+            spec.protection = Protection::BASE;
+            let base = runtime_stats(&run_spec(&opts, spec)).0;
+            spec.protection = Protection::FULL;
+            let full = runtime_stats(&run_spec(&opts, spec)).0;
+            ratios.push(full / base);
+        }
+        let geomean = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+        println!("  {model}: {:.1}% overhead", (geomean.exp() - 1.0) * 100.0);
+    }
+}

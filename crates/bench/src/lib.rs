@@ -1,0 +1,263 @@
+//! # Experiment harness
+//!
+//! Shared infrastructure for the binaries that regenerate every evaluation
+//! artifact of the paper (Figures 3–9, the §6.1 error-detection study, and
+//! the §6.3 hardware-cost table). Each binary prints the same rows/series
+//! the paper reports; `EXPERIMENTS.md` records paper-vs-measured.
+//!
+//! Methodology follows §5: every configuration is run several times with
+//! pseudo-random perturbations (ten in the paper; three by default here —
+//! raise with `--runs=10`) and reported as mean ± one standard deviation.
+//!
+//! Common flags for all `exp_*` binaries:
+//!
+//! * `--runs=N` — perturbed repetitions per configuration (default 3)
+//! * `--txns=N` — transactions per thread (default 24)
+//! * `--nodes=N` — system size (default 8)
+//! * `--seed=N` — base seed (default 42)
+//! * `--protocol=directory|snooping` — where applicable
+
+use dvmc_sim::{mean_std, Protection, Protocol, RunReport, System, SystemBuilder};
+use dvmc_workloads::spec::WorkloadKind;
+
+/// Options parsed from the command line.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpOpts {
+    /// Perturbed repetitions per configuration (§5 uses ten).
+    pub runs: u32,
+    /// Transactions per thread.
+    pub txns: u64,
+    /// Nodes (processors).
+    pub nodes: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Protocol for single-protocol experiments.
+    pub protocol: Protocol,
+    /// Hard per-run cycle limit.
+    pub max_cycles: u64,
+}
+
+impl Default for ExpOpts {
+    fn default() -> Self {
+        ExpOpts {
+            runs: 3,
+            txns: 24,
+            nodes: 8,
+            seed: 42,
+            protocol: Protocol::Directory,
+            max_cycles: 50_000_000,
+        }
+    }
+}
+
+impl ExpOpts {
+    /// Parses `--key=value` style arguments; unknown arguments abort with
+    /// a usage message.
+    pub fn from_args() -> ExpOpts {
+        let mut o = ExpOpts::default();
+        for arg in std::env::args().skip(1) {
+            let Some((key, value)) = arg.split_once('=') else {
+                usage(&arg);
+            };
+            match key {
+                "--runs" => o.runs = value.parse().unwrap_or_else(|_| usage(&arg)),
+                "--txns" => o.txns = value.parse().unwrap_or_else(|_| usage(&arg)),
+                "--nodes" => o.nodes = value.parse().unwrap_or_else(|_| usage(&arg)),
+                "--seed" => o.seed = value.parse().unwrap_or_else(|_| usage(&arg)),
+                "--max-cycles" => o.max_cycles = value.parse().unwrap_or_else(|_| usage(&arg)),
+                "--protocol" => {
+                    o.protocol = match value {
+                        "directory" => Protocol::Directory,
+                        "snooping" => Protocol::Snooping,
+                        _ => usage(&arg),
+                    }
+                }
+                _ => usage(&arg),
+            }
+        }
+        o
+    }
+}
+
+fn usage(arg: &str) -> ! {
+    eprintln!("unrecognized argument: {arg}");
+    eprintln!(
+        "usage: exp_* [--runs=N] [--txns=N] [--nodes=N] [--seed=N] \
+         [--max-cycles=N] [--protocol=directory|snooping]"
+    );
+    std::process::exit(2)
+}
+
+/// A fully specified run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSpec {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// Consistency model.
+    pub model: dvmc_consistency::Model,
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// Protection mechanisms.
+    pub protection: Protection,
+    /// Nodes.
+    pub nodes: usize,
+    /// Transactions per thread.
+    pub txns: u64,
+    /// Link bandwidth in bytes/cycle.
+    pub link_bandwidth: u32,
+}
+
+impl RunSpec {
+    /// A spec from the experiment options, TSO directory full-DVMC by
+    /// default.
+    pub fn new(opts: &ExpOpts, kind: WorkloadKind) -> RunSpec {
+        RunSpec {
+            kind,
+            model: dvmc_consistency::Model::Tso,
+            protocol: opts.protocol,
+            protection: Protection::FULL,
+            nodes: opts.nodes,
+            txns: opts.txns,
+            link_bandwidth: 2,
+        }
+    }
+
+    fn build(&self, base_seed: u64, perturbation: u64) -> System {
+        SystemBuilder::new()
+            .nodes(self.nodes)
+            .protocol(self.protocol)
+            .model(self.model)
+            .protection(self.protection)
+            .link_bandwidth(self.link_bandwidth)
+            .workload(self.kind, self.txns)
+            .seed(base_seed)
+            .perturbation(perturbation)
+            .build()
+    }
+}
+
+/// Runs a spec `opts.runs` times with §5-style perturbation seeds; panics
+/// if any run fails to complete cleanly (evaluation runs are error-free).
+pub fn run_spec(opts: &ExpOpts, spec: RunSpec) -> Vec<RunReport> {
+    let reports = dvmc_sim::perturbed_runs(opts.runs, opts.seed, opts.max_cycles, |perturbation| {
+        spec.build(opts.seed, perturbation)
+    });
+    for r in &reports {
+        assert!(
+            r.completed && !r.hung,
+            "run did not complete: {spec:?} -> cycles={} hung={}",
+            r.cycles,
+            r.hung
+        );
+        assert!(
+            r.violations.is_empty(),
+            "error-free run raised violations: {spec:?} -> {:?}",
+            r.violations
+        );
+    }
+    reports
+}
+
+/// Mean ± std of the runtimes (cycles) of a report set.
+pub fn runtime_stats(reports: &[RunReport]) -> (f64, f64) {
+    let xs: Vec<f64> = reports.iter().map(|r| r.cycles as f64).collect();
+    mean_std(&xs)
+}
+
+/// Normalizes `(mean, std)` against a baseline mean.
+pub fn normalize(stats: (f64, f64), baseline_mean: f64) -> (f64, f64) {
+    (stats.0 / baseline_mean, stats.1 / baseline_mean)
+}
+
+/// Formats `mean ± std` compactly.
+pub fn fmt_pm((mean, std): (f64, f64)) -> String {
+    format!("{mean:5.2} ±{std:4.2}")
+}
+
+/// Prints an aligned table: a header row followed by rows of equal arity.
+///
+/// # Panics
+///
+/// Panics if a row's arity differs from the header's.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{:<w$}", c, w = widths[0]));
+            } else {
+                line.push_str(&format!("  {:>w$}", c, w = widths[i]));
+            }
+        }
+        line
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// The workloads in the paper's presentation order.
+pub fn workloads() -> [WorkloadKind; 5] {
+    WorkloadKind::ALL
+}
+
+/// For Figures 8 and 9: the mean ± std (across workloads) of the ratio
+/// between the fully protected and the unprotected system's runtime, with
+/// `make` supplying the per-workload spec (protection is overridden here).
+pub fn mean_ratio(opts: &ExpOpts, make: impl Fn(WorkloadKind) -> RunSpec) -> (f64, f64) {
+    let mut ratios = Vec::new();
+    for kind in workloads() {
+        let mut spec = make(kind);
+        spec.protection = Protection::BASE;
+        let base = runtime_stats(&run_spec(opts, spec)).0;
+        spec.protection = Protection::FULL;
+        let full = runtime_stats(&run_spec(opts, spec)).0;
+        ratios.push(full / base);
+    }
+    mean_std(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_and_format() {
+        let n = normalize((220.0, 11.0), 200.0);
+        assert!((n.0 - 1.1).abs() < 1e-9);
+        assert!((n.1 - 0.055).abs() < 1e-9);
+        assert_eq!(fmt_pm((1.0, 0.05)), " 1.00 ±0.05");
+    }
+
+    #[test]
+    fn small_run_spec_completes() {
+        let opts = ExpOpts {
+            runs: 1,
+            txns: 2,
+            nodes: 2,
+            ..ExpOpts::default()
+        };
+        let spec = RunSpec::new(&opts, WorkloadKind::Jbb);
+        let reports = run_spec(&opts, spec);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_checks_arity() {
+        print_table("t", &["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,228 @@
+//! # SafetyNet-style backward error recovery (BER)
+//!
+//! DVMC detects errors; recovery is delegated to a checkpoint-based BER
+//! mechanism (§3, §5). The paper uses SafetyNet: the system periodically
+//! takes lightweight global checkpoints, which become *validated* once all
+//! operations in flight at checkpoint time have settled; a bounded log
+//! keeps the last few checkpoints, giving a recovery window of roughly
+//! 100k processor cycles. An error is recoverable iff it is detected while
+//! a checkpoint predating it is still held (§6.1 verifies all injected
+//! errors are detected "well within the SafetyNet recovery time frame").
+//!
+//! This crate models exactly the behaviour the evaluation depends on:
+//! checkpoint cadence, validation latency, log capacity, the derived
+//! recovery window, and the per-checkpoint coordination traffic the
+//! simulator charges to the interconnect. Full state snapshotting is not
+//! modelled (the paper treats BER as an orthogonal, pluggable mechanism —
+//! ReVive would work equally well).
+
+use dvmc_types::Cycle;
+use std::collections::VecDeque;
+
+/// SafetyNet configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SafetyNetConfig {
+    /// Cycles between checkpoint creations.
+    pub checkpoint_interval: u64,
+    /// Cycles until a new checkpoint is validated (all in-flight
+    /// operations at creation time have settled).
+    pub validation_latency: u64,
+    /// Number of checkpoints the log can hold.
+    pub max_checkpoints: usize,
+    /// Wire bytes of per-node coordination traffic per checkpoint.
+    pub coordination_bytes: u32,
+}
+
+impl Default for SafetyNetConfig {
+    fn default() -> Self {
+        SafetyNetConfig {
+            checkpoint_interval: 5_000,
+            validation_latency: 10_000,
+            max_checkpoints: 20,
+            coordination_bytes: 16,
+        }
+    }
+}
+
+impl SafetyNetConfig {
+    /// The nominal recovery window: how far in the past the oldest held
+    /// checkpoint reaches once the log is warm.
+    pub fn recovery_window(&self) -> u64 {
+        self.checkpoint_interval * self.max_checkpoints as u64
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Checkpoint {
+    taken_at: Cycle,
+}
+
+/// Events the simulator reacts to (traffic accounting).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BerEvent {
+    /// A checkpoint was created; each node exchanges coordination
+    /// messages of [`SafetyNetConfig::coordination_bytes`].
+    CheckpointTaken {
+        /// Creation time.
+        at: Cycle,
+    },
+}
+
+/// The global SafetyNet state (one instance per system; SafetyNet
+/// checkpoints are globally coordinated in logical time).
+#[derive(Clone, Debug)]
+pub struct SafetyNet {
+    cfg: SafetyNetConfig,
+    checkpoints: VecDeque<Checkpoint>,
+    last_checkpoint: Cycle,
+    taken: u64,
+    reclaimed: u64,
+}
+
+impl SafetyNet {
+    /// Creates the recovery mechanism with an initial checkpoint at time 0.
+    pub fn new(cfg: SafetyNetConfig) -> Self {
+        let mut checkpoints = VecDeque::new();
+        checkpoints.push_back(Checkpoint { taken_at: 0 });
+        SafetyNet {
+            cfg,
+            checkpoints,
+            last_checkpoint: 0,
+            taken: 1,
+            reclaimed: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SafetyNetConfig {
+        &self.cfg
+    }
+
+    /// Advances to `now`; returns a [`BerEvent`] when a checkpoint is
+    /// created this cycle.
+    pub fn tick(&mut self, now: Cycle) -> Option<BerEvent> {
+        if now < self.last_checkpoint + self.cfg.checkpoint_interval {
+            return None;
+        }
+        self.last_checkpoint = now;
+        self.taken += 1;
+        self.checkpoints.push_back(Checkpoint { taken_at: now });
+        // Reclaim the log: keep at most `max_checkpoints`.
+        while self.checkpoints.len() > self.cfg.max_checkpoints {
+            self.checkpoints.pop_front();
+            self.reclaimed += 1;
+        }
+        Some(BerEvent::CheckpointTaken { at: now })
+    }
+
+    /// Whether a checkpoint `c` is validated at time `now`.
+    fn validated(&self, c: &Checkpoint, now: Cycle) -> bool {
+        c.taken_at + self.cfg.validation_latency <= now || c.taken_at == 0
+    }
+
+    /// The newest validated checkpoint that predates `error_time`, as seen
+    /// at time `now` — the recovery point for an error at `error_time`
+    /// detected at `now`. `None` means the error escaped the recovery
+    /// window and is unrecoverable.
+    pub fn recovery_point(&self, error_time: Cycle, now: Cycle) -> Option<Cycle> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.taken_at <= error_time && self.validated(c, now))
+            .map(|c| c.taken_at)
+    }
+
+    /// Whether an error occurring at `error_time` and detected at `now`
+    /// can be recovered.
+    pub fn recoverable(&self, error_time: Cycle, now: Cycle) -> bool {
+        self.recovery_point(error_time, now).is_some()
+    }
+
+    /// Checkpoints created so far.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Checkpoints reclaimed (log wrap).
+    pub fn checkpoints_reclaimed(&self) -> u64 {
+        self.reclaimed
+    }
+
+    /// The oldest held checkpoint's creation time.
+    pub fn oldest_checkpoint(&self) -> Cycle {
+        self.checkpoints.front().map(|c| c.taken_at).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> SafetyNet {
+        SafetyNet::new(SafetyNetConfig {
+            checkpoint_interval: 100,
+            validation_latency: 150,
+            max_checkpoints: 4,
+            coordination_bytes: 16,
+        })
+    }
+
+    #[test]
+    fn checkpoints_fire_on_interval() {
+        let mut sn = net();
+        let mut events = 0;
+        for now in 1..=1000 {
+            if sn.tick(now).is_some() {
+                events += 1;
+            }
+        }
+        assert_eq!(events, 10);
+        assert_eq!(sn.checkpoints_taken(), 11, "plus the initial checkpoint");
+    }
+
+    #[test]
+    fn log_is_bounded() {
+        let mut sn = net();
+        for now in 1..=2000 {
+            sn.tick(now);
+        }
+        assert!(sn.checkpoints_reclaimed() > 0);
+        // Oldest held checkpoint is within the window.
+        assert!(sn.oldest_checkpoint() >= 2000 - sn.config().recovery_window());
+    }
+
+    #[test]
+    fn recent_error_is_recoverable() {
+        let mut sn = net();
+        for now in 1..=1000 {
+            sn.tick(now);
+        }
+        // Error at 950 detected at 1000: the checkpoint at 900 is not yet
+        // validated (validation takes 150); 800 is (800+150 <= 1000).
+        assert_eq!(sn.recovery_point(950, 1000), Some(800));
+        assert!(sn.recoverable(950, 1000));
+    }
+
+    #[test]
+    fn stale_error_escapes_the_window() {
+        let mut sn = net();
+        for now in 1..=10_000 {
+            sn.tick(now);
+        }
+        // The log holds only the last 4 checkpoints (~400 cycles).
+        assert!(!sn.recoverable(5_000, 10_000), "error is 5k cycles old");
+        assert!(sn.recoverable(9_950, 10_000));
+    }
+
+    #[test]
+    fn initial_checkpoint_covers_early_errors() {
+        let sn = net();
+        assert_eq!(sn.recovery_point(10, 20), Some(0));
+    }
+
+    #[test]
+    fn window_accounting() {
+        let cfg = SafetyNetConfig::default();
+        assert_eq!(cfg.recovery_window(), 100_000, "paper's ~100k cycle window");
+    }
+}

@@ -1,0 +1,322 @@
+//! A complete coherent memory system: N cache controllers, N home memory
+//! controllers, and the interconnect — everything below the processor
+//! cores. The simulator crate layers pipelines, checkers, and workloads on
+//! top; the tests here exercise the protocols directly.
+
+use crate::home::{HomeConfig, HomeCtrl, HomeStats};
+use crate::msg::Msg;
+use crate::node::{CacheNode, NodeConfig, Protocol};
+use crate::proc::{CacheStats, ProcReq, ProcResp};
+use dvmc_core::violation::Violation;
+use dvmc_interconnect::{BroadcastTree, Torus};
+use dvmc_types::{BlockAddr, Cycle, NodeId, WordAddr};
+
+/// Whether a message is consumed by the home controller (as opposed to the
+/// cache controller) at its destination node.
+fn home_bound(msg: &Msg) -> bool {
+    matches!(
+        msg,
+        Msg::GetS { .. }
+            | Msg::GetM { .. }
+            | Msg::PutM { .. }
+            | Msg::InvAck { .. }
+            | Msg::RecallAck { .. }
+            | Msg::Unblock { .. }
+            | Msg::Epoch(_)
+    )
+}
+
+/// Cluster-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// Cache-controller configuration.
+    pub node: NodeConfig,
+    /// Home-controller configuration.
+    pub home: HomeConfig,
+    /// Torus link bandwidth in bytes/cycle (2.5 GB/s at 2 GHz ≈ 1.25 B/c;
+    /// we default to 2 B/c ≈ 4 GB/s-class links scaled to sim cycles).
+    pub link_bandwidth: u32,
+    /// Torus per-hop latency in cycles.
+    pub hop_latency: u32,
+    /// Address-tree fan-out latency in cycles (snooping).
+    pub tree_latency: u32,
+}
+
+impl ClusterConfig {
+    /// The Table 6 baseline for `nodes` nodes.
+    pub fn paper_default(nodes: usize, protocol: Protocol) -> Self {
+        let node = NodeConfig {
+            nodes,
+            ..NodeConfig::default()
+        };
+        let home = HomeConfig {
+            nodes,
+            ..HomeConfig::default()
+        };
+        ClusterConfig {
+            nodes,
+            protocol,
+            node,
+            home,
+            link_bandwidth: 2,
+            hop_latency: 8,
+            tree_latency: 12,
+        }
+    }
+
+    /// Disables the coherence checker (unprotected baseline).
+    pub fn without_verification(mut self) -> Self {
+        self.node.verify = false;
+        self.home.verify = false;
+        self
+    }
+}
+
+/// The coherent memory system below the processors.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    nodes: Vec<CacheNode>,
+    homes: Vec<HomeCtrl>,
+    data_net: Torus<Msg>,
+    addr_net: Option<BroadcastTree<crate::msg::AddrReq>>,
+    violations: Vec<Violation>,
+    now: Cycle,
+    scrub_period: u64,
+    checker_bytes: u64,
+    ber_bytes: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster from its configuration.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let nodes = (0..cfg.nodes)
+            .map(|i| CacheNode::new(NodeId(i as u8), cfg.protocol, cfg.node))
+            .collect();
+        let homes = (0..cfg.nodes)
+            .map(|i| HomeCtrl::new(NodeId(i as u8), cfg.protocol, cfg.home))
+            .collect();
+        Cluster {
+            nodes,
+            homes,
+            data_net: Torus::new(cfg.nodes, cfg.link_bandwidth, cfg.hop_latency),
+            addr_net: (cfg.protocol == Protocol::Snooping)
+                .then(|| BroadcastTree::new(cfg.nodes, 8, cfg.tree_latency)),
+            violations: Vec::new(),
+            now: 0,
+            scrub_period: 1024,
+            checker_bytes: 0,
+            ber_bytes: 0,
+            cfg,
+        }
+    }
+
+    /// Sends BER coordination traffic between two nodes (bandwidth
+    /// accounting only; the payload is ignored at the destination).
+    pub fn send_ber(&mut self, src: NodeId, dst: NodeId, bytes: u32) {
+        self.ber_bytes += bytes as u64;
+        let now = self.now;
+        self.data_net.send(src, dst, Msg::Ber { bytes }, bytes, now);
+    }
+
+    /// Total coherence-checker (Inform-Epoch family) bytes injected.
+    pub fn checker_bytes(&self) -> u64 {
+        self.checker_bytes
+    }
+
+    /// Total BER coordination bytes injected.
+    pub fn ber_bytes(&self) -> u64 {
+        self.ber_bytes
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Initializes a memory word at its home node (workload setup).
+    pub fn poke_word(&mut self, addr: WordAddr, value: u64) {
+        let home = addr.block().home(self.cfg.nodes);
+        self.homes[home.index()].poke_word(addr, value);
+    }
+
+    /// Reads a memory word from its home (ignores cached dirty copies; use
+    /// only after quiescence for end-state checks).
+    pub fn peek_memory_word(&self, addr: WordAddr) -> u64 {
+        let home = addr.block().home(self.cfg.nodes);
+        self.homes[home.index()].peek_word(addr)
+    }
+
+    /// Submits a processor request at `node`.
+    pub fn submit(&mut self, node: NodeId, req: ProcReq) {
+        self.nodes[node.index()].submit(req);
+    }
+
+    /// Pops a completed response at `node`.
+    pub fn pop_resp(&mut self, node: NodeId) -> Option<ProcResp> {
+        self.nodes[node.index()].pop_resp()
+    }
+
+    /// Drains the blocks invalidated at `node` since the last call.
+    pub fn drain_invalidated(&mut self, node: NodeId) -> Vec<BlockAddr> {
+        self.nodes[node.index()].drain_invalidated()
+    }
+
+    /// Advances the whole memory system one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        // 1. Networks move.
+        self.data_net.tick(now);
+        if let Some(tree) = self.addr_net.as_mut() {
+            tree.tick(now);
+        }
+        // 2. Deliveries.
+        for i in 0..self.cfg.nodes {
+            let node_id = NodeId(i as u8);
+            while let Some(msg) = self.data_net.recv(node_id) {
+                if home_bound(&msg) {
+                    self.homes[i].deliver(msg);
+                } else {
+                    self.nodes[i].deliver(msg);
+                }
+            }
+            if let Some(tree) = self.addr_net.as_mut() {
+                while let Some((order, req)) = tree.recv(node_id) {
+                    self.nodes[i].deliver_snoop(order, req);
+                    self.homes[i].deliver_snoop(order, req);
+                }
+            }
+        }
+        // 3. Controllers run.
+        for home in &mut self.homes {
+            home.tick(now);
+        }
+        for node in &mut self.nodes {
+            node.tick(now);
+            if now.is_multiple_of(self.scrub_period) {
+                node.scrub();
+            }
+        }
+        // 4. Outbound messages enter the networks.
+        for i in 0..self.cfg.nodes {
+            let src = NodeId(i as u8);
+            while let Some(out) = self.nodes[i].pop_msg() {
+                let bytes = out.msg.bytes();
+                if out.msg.is_checker() {
+                    self.checker_bytes += bytes as u64;
+                }
+                self.data_net.send(src, out.dst, out.msg, bytes, now);
+            }
+            while let Some(out) = self.homes[i].pop_msg() {
+                let bytes = out.msg.bytes();
+                self.data_net.send(src, out.dst, out.msg, bytes, now);
+            }
+            if let Some(tree) = self.addr_net.as_mut() {
+                while let Some(req) = self.nodes[i].pop_addr_req() {
+                    let bytes = req.bytes();
+                    tree.send(src, req, bytes, now);
+                }
+            }
+        }
+        // 5. Collect violations.
+        for node in &mut self.nodes {
+            self.violations.extend(node.drain_violations());
+        }
+        for home in &mut self.homes {
+            self.violations.extend(home.drain_violations());
+        }
+        self.now += 1;
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Runs until every controller and network is idle (or `max_cycles`
+    /// elapse). Returns whether quiescence was reached.
+    pub fn run_to_quiescence(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            self.tick();
+            if self.is_quiescent() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether all controllers and networks are idle.
+    pub fn is_quiescent(&self) -> bool {
+        self.nodes.iter().all(CacheNode::is_quiescent)
+            && self.homes.iter().all(HomeCtrl::is_quiescent)
+            && self.data_net.is_quiescent()
+            && self.addr_net.as_ref().is_none_or(BroadcastTree::is_quiescent)
+    }
+
+    /// End-of-run audit: ends every in-progress epoch, processes all
+    /// queued checker state, and drains violations.
+    pub fn finish(&mut self) -> Vec<Violation> {
+        for i in 0..self.cfg.nodes {
+            for msg in self.nodes[i].flush_epochs() {
+                let home = msg.addr().home(self.cfg.nodes);
+                self.homes[home.index()].ingest_epoch(msg);
+            }
+        }
+        for home in &mut self.homes {
+            home.flush_checker();
+            self.violations.extend(home.drain_violations());
+        }
+        for node in &mut self.nodes {
+            self.violations.extend(node.drain_violations());
+        }
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Violations detected so far (without flushing).
+    pub fn drain_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Per-node cache statistics.
+    pub fn cache_stats(&self, node: NodeId) -> CacheStats {
+        self.nodes[node.index()].stats()
+    }
+
+    /// Per-home statistics.
+    pub fn home_stats(&self, node: NodeId) -> HomeStats {
+        self.homes[node.index()].stats()
+    }
+
+    /// The data network (bandwidth accounting for Figures 7–8).
+    pub fn data_net(&self) -> &Torus<Msg> {
+        &self.data_net
+    }
+
+    /// Mutable access to the data network (fault arming).
+    pub fn data_net_mut(&mut self) -> &mut Torus<Msg> {
+        &mut self.data_net
+    }
+
+    /// Mutable access to a cache controller (fault injection).
+    pub fn node_mut(&mut self, node: NodeId) -> &mut CacheNode {
+        &mut self.nodes[node.index()]
+    }
+
+    /// Mutable access to a home controller (fault injection).
+    pub fn home_mut(&mut self, node: NodeId) -> &mut HomeCtrl {
+        &mut self.homes[node.index()]
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.cfg.nodes)
+            .field("protocol", &self.cfg.protocol)
+            .field("cycle", &self.now)
+            .finish_non_exhaustive()
+    }
+}

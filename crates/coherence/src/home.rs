@@ -1,0 +1,783 @@
+//! The home memory controller: distributed memory, the directory (for the
+//! directory protocol) or the serialized-stream owner tracker (for
+//! snooping), and the home half of the coherence checker (MET + epoch
+//! sorter, §4.3).
+
+use crate::msg::{AddrReq, Msg, Outbound, SnoopKind};
+use crate::node::Protocol;
+use dvmc_core::coherence::HomeChecker;
+use dvmc_core::violation::{CoherenceViolation, Violation};
+use dvmc_types::{Block, BlockAddr, Cycle, NodeId, Ts16};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Home-controller configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HomeConfig {
+    /// Number of nodes in the system.
+    pub nodes: usize,
+    /// Memory (DRAM) access latency in cycles.
+    pub mem_latency: u32,
+    /// Whether the coherence checker (MET) is active.
+    pub verify: bool,
+    /// Directory logical time: cycles per logical tick, as a shift.
+    pub lt_shift: u32,
+    /// Epoch-sorter priority queue capacity (Table 6: 256).
+    pub sorter_capacity: usize,
+}
+
+impl Default for HomeConfig {
+    fn default() -> Self {
+        HomeConfig {
+            nodes: 8,
+            mem_latency: 80,
+            verify: true,
+            lt_shift: 4,
+            sorter_capacity: 256,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct DirEntry {
+    owner: Option<NodeId>,
+    sharers: u64,
+}
+
+#[derive(Debug)]
+enum TxnKind {
+    GetS,
+    GetM,
+    Upgrade,
+    /// Grant sent; waiting for the requester's Unblock before starting the
+    /// next transaction for the block.
+    AwaitUnblock,
+}
+
+#[derive(Debug)]
+struct Txn {
+    kind: TxnKind,
+    requester: NodeId,
+    need_acks: u32,
+    need_data: bool,
+    data: Option<Block>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MemBlock {
+    data: Block,
+    ecc: u16,
+}
+
+impl MemBlock {
+    fn zero() -> Self {
+        MemBlock {
+            data: Block::ZERO,
+            ecc: Block::ZERO.hash(),
+        }
+    }
+}
+
+/// Home statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HomeStats {
+    /// Coherence requests processed.
+    pub requests: u64,
+    /// Inform-Epoch family messages received.
+    pub informs: u64,
+    /// Memory reads served.
+    pub mem_reads: u64,
+    /// Memory writes (writebacks) applied.
+    pub mem_writes: u64,
+}
+
+/// One node's home memory controller.
+pub struct HomeCtrl {
+    id: NodeId,
+    cfg: HomeConfig,
+    protocol: Protocol,
+    memory: HashMap<BlockAddr, MemBlock>,
+    dir: HashMap<BlockAddr, DirEntry>,
+    busy: HashMap<BlockAddr, Txn>,
+    blocked: HashMap<BlockAddr, VecDeque<Msg>>,
+    checker: Option<HomeChecker>,
+    inbox: VecDeque<Msg>,
+    snoop_in: VecDeque<(u64, AddrReq)>,
+    msg_out: VecDeque<Outbound>,
+    out_delayed: Vec<(Cycle, Outbound)>,
+    violations: Vec<Violation>,
+    stats: HomeStats,
+    /// Snooping: current owner per block, reconstructed from the ordered
+    /// request stream (the wired-OR owner-signal equivalent).
+    snoop_owner: HashMap<BlockAddr, NodeId>,
+    /// Snooping: blocks whose writeback data is still in flight, plus the
+    /// supplies deferred behind it.
+    awaiting_wb: HashSet<BlockAddr>,
+    deferred: HashMap<BlockAddr, VecDeque<(NodeId, SnoopKind, u64)>>,
+    /// Ring of recently read-shared blocks (fault-injection targeting:
+    /// active blocks manifest corruption quickly, like the paper's hot
+    /// working sets).
+    recent_reads: VecDeque<BlockAddr>,
+    /// Ring of recently write-owned blocks (fault-injection targeting).
+    recent_owned: VecDeque<BlockAddr>,
+    last_order: u64,
+    now: Cycle,
+}
+
+impl HomeCtrl {
+    /// Creates the home controller for node `id`.
+    pub fn new(id: NodeId, protocol: Protocol, cfg: HomeConfig) -> Self {
+        HomeCtrl {
+            id,
+            protocol,
+            memory: HashMap::new(),
+            dir: HashMap::new(),
+            busy: HashMap::new(),
+            blocked: HashMap::new(),
+            checker: cfg
+                .verify
+                .then(|| HomeChecker::new(id, cfg.sorter_capacity)),
+            inbox: VecDeque::new(),
+            snoop_in: VecDeque::new(),
+            msg_out: VecDeque::new(),
+            out_delayed: Vec::new(),
+            violations: Vec::new(),
+            stats: HomeStats::default(),
+            snoop_owner: HashMap::new(),
+            awaiting_wb: HashSet::new(),
+            deferred: HashMap::new(),
+            recent_reads: VecDeque::new(),
+            recent_owned: VecDeque::new(),
+            last_order: 0,
+            cfg,
+            now: 0,
+        }
+    }
+
+    /// The home node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn logical_now(&self) -> Ts16 {
+        match self.protocol {
+            Protocol::Directory => Ts16::from_full(self.now >> self.cfg.lt_shift),
+            Protocol::Snooping => Ts16::from_full(self.last_order),
+        }
+    }
+
+    /// Initializes a word of this home's memory (workload setup).
+    pub fn poke_word(&mut self, addr: dvmc_types::WordAddr, value: u64) {
+        let entry = self
+            .memory
+            .entry(addr.block())
+            .or_insert_with(MemBlock::zero);
+        entry.data.set_word(addr.offset(), value);
+        entry.ecc = entry.data.hash();
+    }
+
+    /// Reads a word of this home's memory (test/verification use).
+    pub fn peek_word(&self, addr: dvmc_types::WordAddr) -> u64 {
+        self.memory
+            .get(&addr.block())
+            .map_or(0, |m| m.data.word(addr.offset()))
+    }
+
+    /// Delivers a point-to-point message.
+    pub fn deliver(&mut self, msg: Msg) {
+        self.inbox.push_back(msg);
+    }
+
+    /// Delivers an ordered snoop (snooping protocol).
+    pub fn deliver_snoop(&mut self, order: u64, req: AddrReq) {
+        self.snoop_in.push_back((order, req));
+    }
+
+    /// Pops an outbound message.
+    pub fn pop_msg(&mut self) -> Option<Outbound> {
+        self.msg_out.pop_front()
+    }
+
+    /// Drains detected violations.
+    pub fn drain_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Home statistics.
+    pub fn stats(&self) -> HomeStats {
+        self.stats
+    }
+
+    /// The MET checker, if verification is on.
+    pub fn checker(&self) -> Option<&HomeChecker> {
+        self.checker.as_ref()
+    }
+
+    /// Whether the controller is idle.
+    pub fn is_quiescent(&self) -> bool {
+        self.busy.is_empty()
+            && self.inbox.is_empty()
+            && self.snoop_in.is_empty()
+            && self.msg_out.is_empty()
+            && self.out_delayed.is_empty()
+            && self.blocked.values().all(VecDeque::is_empty)
+            && self.awaiting_wb.is_empty()
+    }
+
+    /// Fault injection: flips a bit of a recently read memory block
+    /// without updating ECC (falls back to any resident block). Active
+    /// blocks are re-fetched soon, so the error manifests the way the
+    /// paper's hot-working-set injections do.
+    pub fn corrupt_memory(&mut self, idx: usize, bit: usize) -> Option<BlockAddr> {
+        let key = if !self.recent_reads.is_empty() {
+            self.recent_reads[idx % self.recent_reads.len()]
+        } else {
+            let n = self.memory.len();
+            if n == 0 {
+                return None;
+            }
+            *self.memory.keys().nth(idx % n)?
+        };
+        let m = self.memory.get_mut(&key)?;
+        m.data.flip_bit(bit % 512);
+        Some(key)
+    }
+
+    /// Fault injection: corrupts memory-controller state by forgetting
+    /// the owner of a random owned block (directory entry or snooping
+    /// owner tracker) — leading to stale data or SWMR violations.
+    /// Returns the block, if any block was owned.
+    pub fn corrupt_forget_owner(&mut self, idx: usize) -> Option<BlockAddr> {
+        match self.protocol {
+            Protocol::Directory => {
+                let candidate = self
+                    .recent_owned
+                    .iter()
+                    .rev()
+                    .find(|a| self.dir.get(a).is_some_and(|e| e.owner.is_some()))
+                    .copied()
+                    .or_else(|| {
+                        self.dir
+                            .iter()
+                            .filter(|(_, e)| e.owner.is_some())
+                            .map(|(a, _)| *a)
+                            .nth(idx % self.dir.len().max(1))
+                    })?;
+                self.dir.get_mut(&candidate).expect("exists").owner = None;
+                Some(candidate)
+            }
+            Protocol::Snooping => {
+                // Prefer a recently contended block so the corruption
+                // manifests; fall back to any owned block.
+                let candidate = self
+                    .recent_owned
+                    .iter()
+                    .rev()
+                    .find(|a| self.snoop_owner.contains_key(a))
+                    .copied()
+                    .or_else(|| {
+                        let n = self.snoop_owner.len();
+                        if n == 0 {
+                            None
+                        } else {
+                            self.snoop_owner.keys().nth(idx % n).copied()
+                        }
+                    })?;
+                self.snoop_owner.remove(&candidate);
+                Some(candidate)
+            }
+        }
+    }
+
+    /// Advances the controller one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        self.now = now;
+        // Release memory-latency-delayed responses.
+        let mut i = 0;
+        while i < self.out_delayed.len() {
+            if self.out_delayed[i].0 <= now {
+                let (_, o) = self.out_delayed.swap_remove(i);
+                self.msg_out.push_back(o);
+            } else {
+                i += 1;
+            }
+        }
+        while let Some((order, req)) = self.snoop_in.pop_front() {
+            self.last_order = order;
+            self.handle_snoop(req);
+        }
+        while let Some(msg) = self.inbox.pop_front() {
+            self.handle_msg(msg);
+        }
+        // Opportunistically drain the epoch sorter up to a safe watermark
+        // far enough in the logical past to cover worst-case network
+        // queueing of a straggler inform (the paper tolerates stragglers
+        // as recoverable false positives; we size the slack so error-free
+        // runs never pay that recovery). Snooping logical time advances
+        // per coherence request (fast), the directory clock per 16
+        // cycles, so the slack differs. Skip draining until the clock
+        // clears the startup window so the subtraction cannot wrap.
+        let slack: u16 = match self.protocol {
+            Protocol::Directory => 64,
+            Protocol::Snooping => 512,
+        };
+        let logical_now = self.logical_now();
+        if logical_now.0 >= slack {
+            let watermark = Ts16(logical_now.0 - slack);
+            if let Some(chk) = self.checker.as_mut() {
+                if let Err(v) = chk.drain_older_than(watermark) {
+                    self.violations.push(v);
+                }
+            }
+        }
+        // MET stale-timestamp scrub, well within its quarter-window budget.
+        if now.is_multiple_of(2048) {
+            if let Some(chk) = self.checker.as_mut() {
+                chk.scrub(logical_now);
+            }
+        }
+    }
+
+    /// Processes all remaining checker state (end of run).
+    pub fn flush_checker(&mut self) {
+        if let Some(chk) = self.checker.as_mut() {
+            if let Err(v) = chk.flush() {
+                self.violations.push(v);
+            }
+        }
+    }
+
+    /// Feeds an epoch message straight into the checker (end-of-run audit,
+    /// bypassing the network).
+    pub fn ingest_epoch(&mut self, e: dvmc_core::coherence::EpochMessage) {
+        self.stats.informs += 1;
+        if let Some(chk) = self.checker.as_mut() {
+            if let Err(v) = chk.push(e) {
+                self.violations.push(v);
+            }
+        }
+    }
+
+    fn mem_read(&mut self, addr: BlockAddr) -> Block {
+        self.stats.mem_reads += 1;
+        let m = self.memory.entry(addr).or_insert_with(MemBlock::zero);
+        let (data, ok) = (m.data, m.data.hash() == m.ecc);
+        if self.cfg.verify && !ok {
+            self.violations.push(
+                CoherenceViolation::EccMismatch {
+                    node: self.id,
+                    addr,
+                }
+                .into(),
+            );
+        }
+        data
+    }
+
+    fn mem_write(&mut self, addr: BlockAddr, data: Block) {
+        self.stats.mem_writes += 1;
+        self.memory.insert(
+            addr,
+            MemBlock {
+                data,
+                ecc: data.hash(),
+            },
+        );
+    }
+
+    /// Remembers a read-shared block (fault-injection targeting).
+    fn note_read(&mut self, addr: BlockAddr) {
+        self.recent_reads.push_back(addr);
+        if self.recent_reads.len() > 64 {
+            self.recent_reads.pop_front();
+        }
+    }
+
+    /// Remembers a write-owned block (fault-injection targeting).
+    fn note_owned(&mut self, addr: BlockAddr) {
+        self.recent_owned.push_back(addr);
+        if self.recent_owned.len() > 64 {
+            self.recent_owned.pop_front();
+        }
+    }
+
+    fn send(&mut self, dst: NodeId, msg: Msg) {
+        self.msg_out.push_back(Outbound { dst, msg });
+    }
+
+    fn send_after_mem(&mut self, dst: NodeId, msg: Msg) {
+        self.out_delayed
+            .push((self.now + self.cfg.mem_latency as u64, Outbound { dst, msg }));
+    }
+
+    fn ensure_met(&mut self, addr: BlockAddr) {
+        if self.checker.is_none() {
+            return;
+        }
+        let now = self.logical_now();
+        let hash = self
+            .memory
+            .entry(addr)
+            .or_insert_with(MemBlock::zero)
+            .data
+            .hash();
+        self.checker
+            .as_mut()
+            .expect("checked above")
+            .met_mut()
+            .ensure_entry(addr, now, hash);
+    }
+
+    // ----- directory protocol -------------------------------------------
+
+    fn handle_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::Epoch(e) => {
+                self.stats.informs += 1;
+                if let Some(chk) = self.checker.as_mut() {
+                    if let Err(v) = chk.push(e) {
+                        self.violations.push(v);
+                    }
+                }
+            }
+            Msg::PutM { addr, data, .. } if self.protocol == Protocol::Snooping => {
+                // Snooping writeback data arriving at the home (the
+                // ordering point was the PutM address-network observation).
+                self.mem_write(addr, data);
+                self.awaiting_wb.remove(&addr);
+                self.run_deferred(addr);
+            }
+            Msg::GetS { .. } | Msg::GetM { .. } | Msg::PutM { .. } => {
+                let addr = msg.addr();
+                if self.busy.contains_key(&addr) {
+                    self.blocked.entry(addr).or_default().push_back(msg);
+                } else {
+                    self.start_request(msg);
+                }
+            }
+            Msg::Unblock { addr, .. } => {
+                if matches!(
+                    self.busy.get(&addr),
+                    Some(Txn {
+                        kind: TxnKind::AwaitUnblock,
+                        ..
+                    })
+                ) {
+                    self.busy.remove(&addr);
+                }
+                self.pump_blocked(addr);
+            }
+            Msg::InvAck { from, addr } => self.handle_inv_ack(from, addr),
+            Msg::RecallAck { addr, data, .. } => self.handle_recall_ack(addr, data),
+            // Responses addressed to caches, and BER coordination traffic;
+            // nothing for the home to do.
+            _ => {}
+        }
+    }
+
+    fn start_request(&mut self, msg: Msg) {
+        self.stats.requests += 1;
+        match msg {
+            Msg::GetS { req, addr } => {
+                self.ensure_met(addr);
+                self.note_read(addr);
+                let entry = self.dir.entry(addr).or_default();
+                match entry.owner {
+                    None => {
+                        entry.sharers |= 1 << req.index();
+                        let data = self.mem_read(addr);
+                        self.send_after_mem(req, Msg::DataS { addr, data });
+                        self.await_unblock(addr, req);
+                    }
+                    Some(owner) => {
+                        self.busy.insert(
+                            addr,
+                            Txn {
+                                kind: TxnKind::GetS,
+                                requester: req,
+                                need_acks: 0,
+                                need_data: true,
+                                data: None,
+                            },
+                        );
+                        self.send(owner, Msg::RecallShare { addr });
+                    }
+                }
+            }
+            Msg::GetM { req, addr } => {
+                self.ensure_met(addr);
+                self.note_owned(addr);
+                let entry = self.dir.entry(addr).or_default();
+                let others = entry.sharers & !(1 << req.index());
+                let n_acks = others.count_ones();
+                match entry.owner {
+                    Some(owner) if owner == req => {
+                        // O -> M upgrade: invalidate other sharers only.
+                        if n_acks == 0 {
+                            entry.sharers = 1 << req.index();
+                            // No memory involvement: grant directly.
+                            self.send(req, Msg::UpgradeAck { addr });
+                            self.await_unblock(addr, req);
+                        } else {
+                            self.busy.insert(
+                                addr,
+                                Txn {
+                                    kind: TxnKind::Upgrade,
+                                    requester: req,
+                                    need_acks: n_acks,
+                                    need_data: false,
+                                    data: None,
+                                },
+                            );
+                            self.send_invs(addr, others);
+                        }
+                    }
+                    Some(owner) => {
+                        self.busy.insert(
+                            addr,
+                            Txn {
+                                kind: TxnKind::GetM,
+                                requester: req,
+                                need_acks: n_acks,
+                                need_data: true,
+                                data: None,
+                            },
+                        );
+                        self.send(owner, Msg::RecallInv { addr });
+                        self.send_invs(addr, others);
+                    }
+                    None => {
+                        if n_acks == 0 {
+                            entry.owner = Some(req);
+                            entry.sharers = 0;
+                            let data = self.mem_read(addr);
+                            self.send_after_mem(req, Msg::DataM { addr, data });
+                            self.await_unblock(addr, req);
+                        } else {
+                            self.busy.insert(
+                                addr,
+                                Txn {
+                                    kind: TxnKind::GetM,
+                                    requester: req,
+                                    need_acks: n_acks,
+                                    need_data: false,
+                                    data: None,
+                                },
+                            );
+                            self.send_invs(addr, others);
+                        }
+                    }
+                }
+            }
+            Msg::PutM { req, addr, data } => {
+                let entry = self.dir.entry(addr).or_default();
+                if entry.owner == Some(req) {
+                    entry.owner = None;
+                    self.mem_write(addr, data);
+                    self.send(req, Msg::PutAck { addr, stale: false });
+                } else {
+                    // Ownership already transferred by a recall.
+                    self.send(req, Msg::PutAck { addr, stale: true });
+                }
+            }
+            _ => unreachable!("start_request only handles requests"),
+        }
+    }
+
+    fn await_unblock(&mut self, addr: BlockAddr, requester: NodeId) {
+        self.busy.insert(
+            addr,
+            Txn {
+                kind: TxnKind::AwaitUnblock,
+                requester,
+                need_acks: 0,
+                need_data: false,
+                data: None,
+            },
+        );
+    }
+
+    fn send_invs(&mut self, addr: BlockAddr, sharers: u64) {
+        for n in 0..self.cfg.nodes {
+            if sharers & (1 << n) != 0 {
+                self.send(NodeId(n as u8), Msg::Inv { addr });
+            }
+        }
+    }
+
+    fn handle_inv_ack(&mut self, from: NodeId, addr: BlockAddr) {
+        if let Some(e) = self.dir.get_mut(&addr) {
+            e.sharers &= !(1 << from.index());
+        }
+        let done = match self.busy.get_mut(&addr) {
+            Some(txn) => {
+                txn.need_acks = txn.need_acks.saturating_sub(1);
+                txn.need_acks == 0 && !(txn.need_data && txn.data.is_none())
+            }
+            None => false,
+        };
+        if done {
+            self.complete_txn(addr);
+        }
+    }
+
+    fn handle_recall_ack(&mut self, addr: BlockAddr, data: Block) {
+        // Recalled owner data refreshes memory.
+        self.mem_write(addr, data);
+        let done = match self.busy.get_mut(&addr) {
+            Some(txn) => {
+                txn.data = Some(data);
+                txn.need_data = false;
+                txn.need_acks == 0
+            }
+            None => false,
+        };
+        if done {
+            self.complete_txn(addr);
+        }
+    }
+
+    fn complete_txn(&mut self, addr: BlockAddr) {
+        let txn = self.busy.remove(&addr).expect("busy entry exists");
+        let requester = txn.requester;
+        let entry = self.dir.entry(addr).or_default();
+        match txn.kind {
+            TxnKind::GetS => {
+                // Owner kept the block in O; requester becomes a sharer.
+                entry.sharers |= 1 << requester.index();
+                let data = txn.data.expect("GetS recall returns data");
+                self.send(requester, Msg::DataS { addr, data });
+            }
+            TxnKind::GetM => {
+                entry.owner = Some(requester);
+                entry.sharers = 0;
+                match txn.data {
+                    Some(data) => self.send(requester, Msg::DataM { addr, data }),
+                    None => {
+                        let data = self.mem_read(addr);
+                        self.send_after_mem(requester, Msg::DataM { addr, data });
+                    }
+                }
+            }
+            TxnKind::Upgrade => {
+                entry.sharers = 1 << requester.index();
+                self.send(requester, Msg::UpgradeAck { addr });
+            }
+            TxnKind::AwaitUnblock => unreachable!("unblock handled separately"),
+        }
+        // The block stays busy until the requester confirms its fill, so
+        // recalls can never outrun the granted data.
+        self.await_unblock(addr, requester);
+    }
+
+    /// Serves blocked requests for `addr` until one makes the block busy
+    /// again (or none remain).
+    fn pump_blocked(&mut self, addr: BlockAddr) {
+        while !self.busy.contains_key(&addr) {
+            let next = match self.blocked.get_mut(&addr) {
+                Some(q) => match q.pop_front() {
+                    Some(m) => m,
+                    None => break,
+                },
+                None => break,
+            };
+            self.start_request(next);
+        }
+    }
+
+    // ----- snooping protocol ----------------------------------------------
+
+    fn handle_snoop(&mut self, req: AddrReq) {
+        let addr = req.addr;
+        // Every controller observes every snoop (that is the logical time
+        // base), but only the block's home node acts on it.
+        if addr.home(self.cfg.nodes) != self.id {
+            return;
+        }
+        self.stats.requests += 1;
+        self.ensure_met(addr);
+        match req.kind {
+            SnoopKind::GetS => {
+                self.note_read(addr);
+                if !self.snoop_owner.contains_key(&addr) {
+                    self.supply_or_defer(addr, req.req, SnoopKind::GetS);
+                }
+            }
+            SnoopKind::GetM => {
+                self.note_owned(addr);
+                let owner = self.snoop_owner.get(&addr).copied();
+                match owner {
+                    Some(o) if o == req.req => {
+                        // Upgrade: requester already owns the data.
+                    }
+                    Some(_) => {
+                        // The owner supplies directly; just track ownership.
+                        self.snoop_owner.insert(addr, req.req);
+                    }
+                    None => {
+                        self.supply_or_defer(addr, req.req, SnoopKind::GetM);
+                        self.snoop_owner.insert(addr, req.req);
+                    }
+                }
+            }
+            SnoopKind::PutM => {
+                if self.snoop_owner.get(&addr) == Some(&req.req) {
+                    self.snoop_owner.remove(&addr);
+                    self.awaiting_wb.insert(addr);
+                }
+            }
+        }
+    }
+
+    fn supply_or_defer(&mut self, addr: BlockAddr, to: NodeId, kind: SnoopKind) {
+        let order = self.last_order;
+        if self.awaiting_wb.contains(&addr) {
+            self.deferred
+                .entry(addr)
+                .or_default()
+                .push_back((to, kind, order));
+            return;
+        }
+        let data = self.mem_read(addr);
+        self.send_after_mem(
+            to,
+            Msg::SnoopData {
+                addr,
+                data,
+                exclusive: kind == SnoopKind::GetM,
+                order,
+            },
+        );
+    }
+
+    fn run_deferred(&mut self, addr: BlockAddr) {
+        let Some(q) = self.deferred.remove(&addr) else {
+            return;
+        };
+        // All deferred requests saw owner == None at their observation
+        // point, so memory supplies each of them. (A deferred GetM set the
+        // owner at observation, so at most the last entry is a GetM.)
+        for (to, kind, order) in q {
+            let data = self.mem_read(addr);
+            self.send_after_mem(
+                to,
+                Msg::SnoopData {
+                    addr,
+                    data,
+                    exclusive: kind == SnoopKind::GetM,
+                    order,
+                },
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for HomeCtrl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HomeCtrl")
+            .field("id", &self.id)
+            .field("protocol", &self.protocol)
+            .field("blocks", &self.memory.len())
+            .field("busy", &self.busy.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,1341 @@
+//! The per-node cache controller: private L1 + L2, MSHRs, and the
+//! protocol engine for both the directory and snooping MOSI protocols.
+//!
+//! The controller also hosts the node-side half of the coherence checker
+//! (the CET, §4.3): it checks rule 1 on every performed access, begins and
+//! ends epochs on permission transitions, and emits Inform-Epoch messages
+//! to the block's home when epochs end.
+
+use crate::cache::{CacheArray, Line, Mosi};
+use crate::msg::{AddrReq, Msg, Outbound, SnoopKind};
+use crate::proc::{CacheStats, ProcReq, ProcResp};
+use dvmc_core::coherence::{CacheEpochTable, EpochKind};
+use dvmc_core::violation::{CoherenceViolation, Violation};
+use dvmc_types::{Block, BlockAddr, Cycle, NodeId, Ts16};
+use std::collections::{HashMap, VecDeque};
+
+/// Which coherence protocol the system runs (Table 6 configures both).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Protocol {
+    /// MOSI directory protocol over the unordered torus.
+    Directory,
+    /// MOSI snooping protocol over the ordered broadcast tree.
+    Snooping,
+}
+
+/// Cache-controller configuration (Table 6 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct NodeConfig {
+    /// Number of nodes in the system.
+    pub nodes: usize,
+    /// L1 data cache size in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 cache size in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u32,
+    /// Additional L2 hit latency in cycles.
+    pub l2_latency: u32,
+    /// Cache requests accepted per cycle (port count).
+    pub ports: u32,
+    /// Whether the coherence checker (CET + informs) is active.
+    pub verify: bool,
+    /// Directory logical time: cycles per logical tick, as a shift.
+    pub lt_shift: u32,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            nodes: 8,
+            l1_bytes: 64 * 1024,
+            l1_ways: 4,
+            l2_bytes: 1024 * 1024,
+            l2_ways: 4,
+            l1_latency: 2,
+            l2_latency: 8,
+            ports: 2,
+            verify: true,
+            lt_shift: 4,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Mshr {
+    waiting: Vec<ProcReq>,
+    /// Whether the in-flight request is a GetM.
+    exclusive: bool,
+    /// Snooping: our own request has been observed on the address network.
+    observed: bool,
+    /// Snooping: data that arrived before our own request was observed;
+    /// it must not be used until the observation (ordering) point.
+    stashed: Option<(Block, Mosi)>,
+    /// Snooping: conflicting requests ordered after ours but observed
+    /// while our data was still in flight (kind, requester, their order).
+    /// We are the logical owner at their ordering points, so we must
+    /// serve them once our data arrives.
+    obligations: Vec<(SnoopKind, NodeId, u64)>,
+    /// Snooping: the request is held back until our pending writeback of
+    /// the same block passes its ordering point.
+    deferred: bool,
+    /// Snooping: the address-network order of our observed request.
+    order: u64,
+    /// Snooping: data that arrived early, tagged with its request order.
+    stashed_order: u64,
+}
+
+#[derive(Debug)]
+struct EvictBuf {
+    data: Block,
+    state: Mosi,
+}
+
+/// The per-node cache controller.
+pub struct CacheNode {
+    id: NodeId,
+    cfg: NodeConfig,
+    protocol: Protocol,
+    l1: CacheArray<()>,
+    l2: CacheArray<Mosi>,
+    cet: CacheEpochTable,
+    mshrs: HashMap<BlockAddr, Mshr>,
+    evicting: HashMap<BlockAddr, EvictBuf>,
+    proc_in: VecDeque<(Cycle, ProcReq)>,
+    resp_out: Vec<(Cycle, ProcResp)>,
+    msg_out: VecDeque<Outbound>,
+    addr_out: VecDeque<AddrReq>,
+    inbox: VecDeque<Msg>,
+    snoop_in: VecDeque<(u64, AddrReq)>,
+    invalidated: Vec<BlockAddr>,
+    violations: Vec<Violation>,
+    stats: CacheStats,
+    last_order: u64,
+    now: Cycle,
+}
+
+impl CacheNode {
+    /// Creates a cache controller for `id` under `protocol`.
+    pub fn new(id: NodeId, protocol: Protocol, cfg: NodeConfig) -> Self {
+        CacheNode {
+            id,
+            protocol,
+            l1: CacheArray::with_bytes(cfg.l1_bytes, cfg.l1_ways),
+            l2: CacheArray::with_bytes(cfg.l2_bytes, cfg.l2_ways),
+            cet: CacheEpochTable::new(id),
+            mshrs: HashMap::new(),
+            evicting: HashMap::new(),
+            proc_in: VecDeque::new(),
+            resp_out: Vec::new(),
+            msg_out: VecDeque::new(),
+            addr_out: VecDeque::new(),
+            inbox: VecDeque::new(),
+            snoop_in: VecDeque::new(),
+            invalidated: Vec::new(),
+            violations: Vec::new(),
+            stats: CacheStats::default(),
+            last_order: 0,
+            cfg,
+            now: 0,
+        }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current logical time: a slow physical clock for the directory
+    /// protocol, the address-network order for snooping (§4.3).
+    fn logical_now(&self) -> Ts16 {
+        match self.protocol {
+            Protocol::Directory => Ts16::from_full(self.now >> self.cfg.lt_shift),
+            Protocol::Snooping => Ts16::from_full(self.last_order),
+        }
+    }
+
+    /// Queues a processor request (visible after the L1 access latency).
+    pub fn submit(&mut self, req: ProcReq) {
+        self.proc_in
+            .push_back((self.now + self.cfg.l1_latency as u64, req));
+    }
+
+    /// Delivers a point-to-point protocol message.
+    pub fn deliver(&mut self, msg: Msg) {
+        self.inbox.push_back(msg);
+    }
+
+    /// Delivers an ordered snoop (snooping protocol only).
+    pub fn deliver_snoop(&mut self, order: u64, req: AddrReq) {
+        self.snoop_in.push_back((order, req));
+    }
+
+    /// Pops a completed processor response.
+    pub fn pop_resp(&mut self) -> Option<ProcResp> {
+        let now = self.now;
+        let idx = self.resp_out.iter().position(|&(t, _)| t <= now)?;
+        Some(self.resp_out.swap_remove(idx).1)
+    }
+
+    /// Pops an outbound point-to-point message.
+    pub fn pop_msg(&mut self) -> Option<Outbound> {
+        self.msg_out.pop_front()
+    }
+
+    /// Pops an outbound address-network request (snooping).
+    pub fn pop_addr_req(&mut self) -> Option<AddrReq> {
+        self.addr_out.pop_front()
+    }
+
+    /// Drains blocks invalidated by remote writers since the last call
+    /// (drives load-order mis-speculation squashes, §4.1).
+    pub fn drain_invalidated(&mut self) -> Vec<BlockAddr> {
+        std::mem::take(&mut self.invalidated)
+    }
+
+    /// Drains detected violations.
+    pub fn drain_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The CET (for tests and cost accounting).
+    pub fn cet(&self) -> &CacheEpochTable {
+        &self.cet
+    }
+
+    /// One-line internal state dump for debugging stuck systems.
+    pub fn dump(&self) -> String {
+        format!(
+            "mshrs={:?} evicting={:?} proc_in={} snoop_in={}",
+            self.mshrs
+                .iter()
+                .map(|(a, m)| (*a, m.observed, m.deferred, m.waiting.len()))
+                .collect::<Vec<_>>(),
+            self.evicting.keys().collect::<Vec<_>>(),
+            self.proc_in.len(),
+            self.snoop_in.len(),
+        )
+    }
+
+    /// Whether the controller has no in-flight transactions or queued work.
+    pub fn is_quiescent(&self) -> bool {
+        self.mshrs.is_empty()
+            && self.evicting.is_empty()
+            && self.proc_in.is_empty()
+            && self.resp_out.is_empty()
+            && self.inbox.is_empty()
+            && self.snoop_in.is_empty()
+            && self.msg_out.is_empty()
+            && self.addr_out.is_empty()
+    }
+
+    /// Fault injection: flips a data bit in a resident L2 line without
+    /// updating ECC. Targets the most-recently-used *shared* line whose
+    /// block is not shadowed by a clean L1 copy — live, actively read
+    /// state whose ECC is not about to be re-encoded by a store — so the
+    /// error manifests the way the paper's hot-working-set injections do.
+    /// Returns the corrupted block.
+    pub fn corrupt_l2(&mut self, _idx: usize, bit: usize) -> Option<BlockAddr> {
+        let candidate = self
+            .l2
+            .addrs_by_recency()
+            .into_iter()
+            .find(|a| {
+                self.l1.peek(*a).is_none()
+                    && self
+                        .l2
+                        .peek(*a)
+                        .is_some_and(|l| matches!(l.state, Mosi::S | Mosi::O))
+            });
+        match candidate {
+            Some(addr) => {
+                self.l2.corrupt_addr(addr, bit);
+                Some(addr)
+            }
+            None => self
+                .l2
+                .corrupt_mru_line_where(bit, |s| matches!(s, Mosi::S | Mosi::O)),
+        }
+    }
+
+    /// Fault injection: silently upgrades a Shared line to Modified
+    /// without a GetM — a cache-controller state error that breaks SWMR.
+    /// Returns whether a line was found.
+    pub fn corrupt_upgrade(&mut self, idx: usize) -> Option<BlockAddr> {
+        let target = {
+            let shared: Vec<BlockAddr> = self
+                .l2
+                .iter()
+                .filter(|l| l.state == Mosi::S)
+                .map(|l| l.addr)
+                .collect();
+            if shared.is_empty() {
+                return None;
+            }
+            shared[idx % shared.len()]
+        };
+        if let Some(line) = self.l2.lookup_mut(target) {
+            line.state = Mosi::M;
+        }
+        Some(target)
+    }
+
+    /// Advances the controller one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        self.now = now;
+        self.process_snoops();
+        self.process_inbox();
+        self.process_proc();
+    }
+
+    // ----- processor-side servicing ------------------------------------
+
+    fn process_proc(&mut self) {
+        for _ in 0..self.cfg.ports {
+            let Some(&(ready, _)) = self.proc_in.front() else {
+                break;
+            };
+            if ready > self.now {
+                break;
+            }
+            let (_, req) = self.proc_in.pop_front().expect("front exists");
+            self.service(req);
+        }
+    }
+
+    fn respond(&mut self, extra_latency: u32, resp: ProcResp) {
+        self.resp_out.push((self.now + extra_latency as u64, resp));
+    }
+
+    fn service(&mut self, req: ProcReq) {
+        let block = req.addr().block();
+        // A transaction is already in flight for this block: join it.
+        if self.mshrs.contains_key(&block) {
+            if !matches!(req, ProcReq::Prefetch { .. }) {
+                self.mshrs.get_mut(&block).expect("checked").waiting.push(req);
+            }
+            return;
+        }
+        match req {
+            ProcReq::Read { id, addr } | ProcReq::ReplayRead { id, addr } => {
+                let replay = matches!(req, ProcReq::ReplayRead { .. });
+                if replay {
+                    self.stats.replay_reads += 1;
+                }
+                // L1 hit?
+                if let Some(line) = self.l1.lookup_mut(addr.block()) {
+                    let value = line.data.word(addr.offset());
+                    let ecc_ok = line.ecc_ok();
+                    if self.cfg.verify && !ecc_ok {
+                        self.violations.push(
+                            CoherenceViolation::EccMismatch {
+                                node: self.id,
+                                addr: addr.block(),
+                            }
+                            .into(),
+                        );
+                    }
+                    if !replay {
+                        self.stats.l1_hits += 1;
+                    }
+                    self.respond(
+                        0,
+                        ProcResp {
+                            id,
+                            value,
+                            l1_miss: false,
+                            coherence_miss: false,
+                            replay,
+                        },
+                    );
+                    return;
+                }
+                if replay {
+                    self.stats.replay_l1_misses += 1;
+                } else {
+                    self.stats.l1_misses += 1;
+                }
+                // L2 hit (any MOSI state allows reading)?
+                if let Some(value) = self.l2_read(addr.block(), addr.offset()) {
+                    self.respond(
+                        self.cfg.l2_latency,
+                        ProcResp {
+                            id,
+                            value,
+                            l1_miss: true,
+                            coherence_miss: false,
+                            replay,
+                        },
+                    );
+                    return;
+                }
+                // Coherence miss.
+                if replay {
+                    self.stats.replay_coherence_misses += 1;
+                } else {
+                    self.stats.coherence_misses += 1;
+                }
+                self.start_transaction(block, false, req);
+            }
+            ProcReq::Write { id, addr, value } => {
+                let writable = self
+                    .l2
+                    .peek(addr.block())
+                    .is_some_and(|l| l.state.writable());
+                if writable {
+                    let l1_hit = self.l1.peek(addr.block()).is_some();
+                    if !l1_hit {
+                        self.stats.l1_misses += 1;
+                    } else {
+                        self.stats.l1_hits += 1;
+                    }
+                    self.perform_store(addr.block(), addr.offset(), value);
+                    self.respond(
+                        self.cfg.l2_latency,
+                        ProcResp {
+                            id,
+                            value,
+                            l1_miss: !l1_hit,
+                            coherence_miss: false,
+                            replay: false,
+                        },
+                    );
+                } else {
+                    self.stats.l1_misses += 1;
+                    self.stats.coherence_misses += 1;
+                    self.start_transaction(block, true, req);
+                }
+            }
+            ProcReq::Atomic { id, addr, value } => {
+                let writable = self
+                    .l2
+                    .peek(addr.block())
+                    .is_some_and(|l| l.state.writable());
+                if writable {
+                    let old = self
+                        .l2_read(addr.block(), addr.offset())
+                        .expect("writable line is readable");
+                    self.perform_store(addr.block(), addr.offset(), value);
+                    self.respond(
+                        self.cfg.l2_latency,
+                        ProcResp {
+                            id,
+                            value: old,
+                            l1_miss: true,
+                            coherence_miss: false,
+                            replay: false,
+                        },
+                    );
+                } else {
+                    self.stats.l1_misses += 1;
+                    self.stats.coherence_misses += 1;
+                    self.start_transaction(block, true, req);
+                }
+            }
+            ProcReq::Prefetch { addr, exclusive } => {
+                let sufficient = self.l2.peek(addr.block()).is_some_and(|l| {
+                    if exclusive {
+                        l.state.writable()
+                    } else {
+                        true
+                    }
+                });
+                if !sufficient {
+                    self.start_transaction_prefetch(addr.block(), exclusive);
+                }
+            }
+        }
+    }
+
+    /// Reads a word from the L2, performing ECC and rule-1 checks, and
+    /// fills the L1.
+    fn l2_read(&mut self, block: BlockAddr, offset: usize) -> Option<u64> {
+        let (value, data) = {
+            let line = self.l2.lookup_mut(block)?;
+            (line.data.word(offset), line.data)
+        };
+        self.check_line_ecc(block);
+        if self.cfg.verify {
+            if let Err(v) = self.cet.check_access(block, false) {
+                self.violations.push(v);
+            }
+        }
+        // Fill L1 (evictions from L1 are silent: it is write-through and
+        // its contents are a subset of L2).
+        if self.l1.peek(block).is_none() {
+            let _ = self.l1.insert(block, data, ());
+        }
+        Some(value)
+    }
+
+    /// Performs a store into L2 (and L1 write-through). Caller guarantees
+    /// an M-state line exists.
+    fn perform_store(&mut self, block: BlockAddr, offset: usize, value: u64) {
+        self.check_line_ecc(block);
+        if self.cfg.verify {
+            if let Err(v) = self.cet.check_access(block, true) {
+                self.violations.push(v);
+            }
+        }
+        let wrote = self.l2.write_word(block, offset, value);
+        debug_assert!(wrote, "perform_store without an L2 line");
+        if self.l1.peek(block).is_some() {
+            self.l1.write_word(block, offset, value);
+        }
+    }
+
+    fn check_line_ecc(&mut self, block: BlockAddr) {
+        if !self.cfg.verify {
+            return;
+        }
+        if let Some(line) = self.l2.peek(block) {
+            if !line.ecc_ok() {
+                self.violations.push(
+                    CoherenceViolation::EccMismatch {
+                        node: self.id,
+                        addr: block,
+                    }
+                    .into(),
+                );
+            }
+        }
+    }
+
+    fn home_of(&self, block: BlockAddr) -> NodeId {
+        block.home(self.cfg.nodes)
+    }
+
+    fn start_transaction(&mut self, block: BlockAddr, want_m: bool, req: ProcReq) {
+        self.mshrs.insert(
+            block,
+            Mshr {
+                waiting: vec![req],
+                exclusive: want_m,
+                observed: false,
+                stashed: None,
+                obligations: Vec::new(),
+                deferred: false,
+                order: u64::MAX,
+                stashed_order: u64::MAX,
+            },
+        );
+        self.issue_request(block, want_m);
+    }
+
+    fn start_transaction_prefetch(&mut self, block: BlockAddr, want_m: bool) {
+        self.mshrs.insert(
+            block,
+            Mshr {
+                waiting: Vec::new(),
+                exclusive: want_m,
+                observed: false,
+                stashed: None,
+                obligations: Vec::new(),
+                deferred: false,
+                order: u64::MAX,
+                stashed_order: u64::MAX,
+            },
+        );
+        self.issue_request(block, want_m);
+    }
+
+    fn issue_request(&mut self, block: BlockAddr, want_m: bool) {
+        // Snooping: a new request for a block whose writeback has not yet
+        // reached its ordering point would corrupt the epoch chain (the
+        // old epoch is still open until the PutM is observed). Hold the
+        // request until then.
+        if self.protocol == Protocol::Snooping && self.evicting.contains_key(&block) {
+            if let Some(m) = self.mshrs.get_mut(&block) {
+                m.deferred = true;
+                return;
+            }
+        }
+        match self.protocol {
+            Protocol::Directory => {
+                let msg = if want_m {
+                    Msg::GetM {
+                        req: self.id,
+                        addr: block,
+                    }
+                } else {
+                    Msg::GetS {
+                        req: self.id,
+                        addr: block,
+                    }
+                };
+                self.msg_out.push_back(Outbound {
+                    dst: self.home_of(block),
+                    msg,
+                });
+            }
+            Protocol::Snooping => {
+                self.addr_out.push_back(AddrReq {
+                    kind: if want_m { SnoopKind::GetM } else { SnoopKind::GetS },
+                    req: self.id,
+                    addr: block,
+                });
+            }
+        }
+    }
+
+    /// Confirms a directory grant so the home can start the next
+    /// transaction for the block.
+    fn send_unblock(&mut self, addr: BlockAddr) {
+        self.msg_out.push_back(Outbound {
+            dst: self.home_of(addr),
+            msg: Msg::Unblock {
+                from: self.id,
+                addr,
+            },
+        });
+    }
+
+    fn send_inform(&mut self, end: dvmc_core::coherence::EpochEnd, block: BlockAddr) {
+        self.stats.informs_sent += 1;
+        self.msg_out.push_back(Outbound {
+            dst: self.home_of(block),
+            msg: Msg::Epoch(end.into()),
+        });
+    }
+
+    /// Ends the CET epoch for `block` at an explicit logical time.
+    fn end_epoch_at(&mut self, block: BlockAddr, end_hash: u16, ts: Ts16) {
+        if !self.cfg.verify {
+            return;
+        }
+        if let Some(end) = self.cet.end_epoch(block, ts, end_hash) {
+            self.send_inform(end, block);
+        }
+    }
+
+    /// Begins a CET epoch for `block` at an explicit logical time.
+    fn begin_epoch_at(&mut self, block: BlockAddr, kind: EpochKind, hash: Option<u16>, ts: Ts16) {
+        if !self.cfg.verify {
+            return;
+        }
+        self.cet.begin_epoch(block, kind, ts, hash);
+    }
+
+    /// Ends the CET epoch for `block` (if tracked) and sends the inform.
+    fn end_epoch(&mut self, block: BlockAddr, end_hash: u16) {
+        if !self.cfg.verify {
+            return;
+        }
+        let now = self.logical_now();
+        if let Some(end) = self.cet.end_epoch(block, now, end_hash) {
+            self.send_inform(end, block);
+        }
+    }
+
+    fn begin_epoch(&mut self, block: BlockAddr, kind: EpochKind, hash: Option<u16>) {
+        if !self.cfg.verify {
+            return;
+        }
+        let now = self.logical_now();
+        self.cet.begin_epoch(block, kind, now, hash);
+    }
+
+    /// Ends every in-progress epoch and returns the resulting epoch
+    /// messages — the end-of-run audit that forces home-side checking of
+    /// epochs still open when the simulation stops.
+    pub fn flush_epochs(&mut self) -> Vec<dvmc_core::coherence::EpochMessage> {
+        if !self.cfg.verify {
+            return Vec::new();
+        }
+        let now = self.logical_now();
+        let blocks: Vec<BlockAddr> = self.cet.blocks().collect();
+        let mut out = Vec::new();
+        for block in blocks {
+            let ready = self.cet.entry(block).is_some_and(|e| e.data_ready);
+            if !ready {
+                // Data never arrived (request in flight at shutdown); the
+                // epoch performed no accesses and is not audited.
+                continue;
+            }
+            let hash = if let Some(line) = self.l2.peek(block) {
+                line.data.hash()
+            } else if let Some(buf) = self.evicting.get(&block) {
+                buf.data.hash()
+            } else {
+                continue;
+            };
+            if let Some(end) = self.cet.end_epoch(block, now, hash) {
+                out.push(end.into());
+            }
+        }
+        out
+    }
+
+    /// Runs the CET scrub FIFO and emits Inform-Open-Epoch messages.
+    pub fn scrub(&mut self) {
+        if !self.cfg.verify {
+            return;
+        }
+        let opens = self.cet.scrub_tick(self.logical_now());
+        for open in opens {
+            let block = open.addr;
+            self.stats.informs_sent += 1;
+            self.stats.scrub_opens += 1;
+            self.msg_out.push_back(Outbound {
+                dst: self.home_of(block),
+                msg: Msg::Epoch(open.into()),
+            });
+        }
+    }
+
+    // ----- fills and victim handling ------------------------------------
+
+    /// Installs an incoming block and completes waiting operations.
+    /// `order` tags snooping data with the request it answers
+    /// (`u64::MAX` for directory fills, which are home-serialized).
+    fn fill(&mut self, block: BlockAddr, data: Block, state: Mosi, order: u64) {
+        if !self.mshrs.contains_key(&block) {
+            // No transaction expects data: this is a late or duplicate
+            // message (e.g. a snooping upgrade satisfied in place while
+            // the old owner's redundant supply was still in flight, or a
+            // fault-injected duplicate). Installing it would resurrect a
+            // stale line.
+            return;
+        }
+        if self.protocol == Protocol::Snooping {
+            let m = self.mshrs.get_mut(&block).expect("checked above");
+            if !m.observed {
+                // Data raced ahead of our request's ordering point; hold
+                // it until the observation (ordering) point.
+                m.stashed = Some((data, state));
+                m.stashed_order = order;
+                return;
+            }
+            if m.order != order {
+                // A redundant supply answering one of our *earlier*
+                // transactions (e.g. the home's memory supply for an
+                // upgrade we satisfied in place). Stale data: discard.
+                return;
+            }
+        }
+        if self.l2.peek(block).is_some() {
+            // An upgrade grant for a line we already hold (S -> M), or a
+            // late/duplicate data message after the transaction finished.
+            if !self.mshrs.contains_key(&block) {
+                return;
+            }
+            let old_hash = {
+                let line = self.l2.lookup_mut(block).expect("peeked above");
+                let old = line.data.hash();
+                line.data = data;
+                line.ecc = data.hash();
+                line.state = state;
+                old
+            };
+            if self.l1.peek(block).is_some() {
+                self.l1.remove(block);
+                let _ = self.l1.insert(block, data, ());
+            }
+            if self.protocol == Protocol::Directory {
+                self.end_epoch(block, old_hash);
+                let kind = if state == Mosi::M {
+                    EpochKind::ReadWrite
+                } else {
+                    EpochKind::ReadOnly
+                };
+                self.begin_epoch(block, kind, Some(data.hash()));
+            } else if self.cfg.verify {
+                self.cet.data_arrived(block, data.hash());
+            }
+            self.complete_waiters(block);
+            return;
+        }
+        if let Some(victim) = self.l2.insert(block, data, state) {
+            self.handle_victim(victim);
+        }
+        let obligations = match self.protocol {
+            Protocol::Directory => {
+                let kind = if state == Mosi::M {
+                    EpochKind::ReadWrite
+                } else {
+                    EpochKind::ReadOnly
+                };
+                self.begin_epoch(block, kind, Some(data.hash()));
+                Vec::new()
+            }
+            Protocol::Snooping => {
+                // Epoch began at the snoop observation; the data arrives now.
+                if self.cfg.verify {
+                    self.cet.data_arrived(block, data.hash());
+                }
+                self.mshrs
+                    .get_mut(&block)
+                    .map(|m| std::mem::take(&mut m.obligations))
+                    .unwrap_or_default()
+            }
+        };
+        self.complete_waiters(block);
+        self.fulfill_obligations(block, obligations);
+    }
+
+    /// Serves the conflicting requests that were ordered behind our own
+    /// while the data was in flight (snooping).
+    fn fulfill_obligations(
+        &mut self,
+        block: BlockAddr,
+        obligations: Vec<(SnoopKind, NodeId, u64)>,
+    ) {
+        for (kind, requester, order) in obligations {
+            let ts = Ts16::from_full(order);
+            match kind {
+                SnoopKind::GetS => {
+                    let Some(line) = self.l2.lookup_mut(block) else {
+                        continue;
+                    };
+                    let data = line.data;
+                    let was_m = line.state == Mosi::M;
+                    line.state = Mosi::O;
+                    if was_m {
+                        let hash = data.hash();
+                        self.end_epoch_at(block, hash, ts);
+                        self.begin_epoch_at(block, EpochKind::ReadOnly, Some(hash), ts);
+                    }
+                    self.check_line_ecc(block);
+                    self.msg_out.push_back(Outbound {
+                        dst: requester,
+                        msg: Msg::SnoopData {
+                            addr: block,
+                            data,
+                            exclusive: false,
+                            order,
+                        },
+                    });
+                }
+                SnoopKind::GetM => {
+                    let Some(line) = self.l2.remove(block) else {
+                        continue;
+                    };
+                    self.l1.remove(block);
+                    if line.state.dirty() {
+                        self.check_removed_ecc(block, &line);
+                        self.msg_out.push_back(Outbound {
+                            dst: requester,
+                            msg: Msg::SnoopData {
+                                addr: block,
+                                data: line.data,
+                                exclusive: true,
+                                order,
+                            },
+                        });
+                    }
+                    self.end_epoch_at(block, line.data.hash(), ts);
+                    self.invalidated.push(block);
+                }
+                SnoopKind::PutM => {}
+            }
+        }
+    }
+
+    /// Completes MSHR waiters against the (now present) line; reissues a
+    /// GetM if writes remain but only shared permission was granted.
+    fn complete_waiters(&mut self, block: BlockAddr) {
+        let Some(mshr) = self.mshrs.remove(&block) else {
+            return;
+        };
+        let writable = self.l2.peek(block).is_some_and(|l| l.state.writable());
+        let mut leftover = Vec::new();
+        for req in mshr.waiting {
+            match req {
+                ProcReq::Read { id, addr } | ProcReq::ReplayRead { id, addr } => {
+                    let replay = matches!(req, ProcReq::ReplayRead { .. });
+                    let value = self
+                        .l2_read(addr.block(), addr.offset())
+                        .expect("line just filled");
+                    self.respond(
+                        0,
+                        ProcResp {
+                            id,
+                            value,
+                            l1_miss: true,
+                            coherence_miss: true,
+                            replay,
+                        },
+                    );
+                }
+                ProcReq::Write { id, addr, value } => {
+                    if writable {
+                        self.perform_store(addr.block(), addr.offset(), value);
+                        self.respond(
+                            0,
+                            ProcResp {
+                                id,
+                                value,
+                                l1_miss: true,
+                                coherence_miss: true,
+                                replay: false,
+                            },
+                        );
+                    } else {
+                        leftover.push(req);
+                    }
+                }
+                ProcReq::Atomic { id, addr, value } => {
+                    if writable {
+                        let old = self
+                            .l2_read(addr.block(), addr.offset())
+                            .expect("line just filled");
+                        self.perform_store(addr.block(), addr.offset(), value);
+                        self.respond(
+                            0,
+                            ProcResp {
+                                id,
+                                value: old,
+                                l1_miss: true,
+                                coherence_miss: true,
+                                replay: false,
+                            },
+                        );
+                    } else {
+                        leftover.push(req);
+                    }
+                }
+                ProcReq::Prefetch { .. } => {}
+            }
+        }
+        if !leftover.is_empty() {
+            // Shared grant but writes pending: upgrade.
+            self.mshrs.insert(
+                block,
+                Mshr {
+                    waiting: leftover,
+                    exclusive: true,
+                    observed: false,
+                    stashed: None,
+                    obligations: Vec::new(),
+                    deferred: false,
+                    order: u64::MAX,
+                    stashed_order: u64::MAX,
+                },
+            );
+            self.issue_request(block, true);
+        }
+    }
+
+    /// Handles an L2 capacity eviction.
+    fn handle_victim(&mut self, victim: Line<Mosi>) {
+        let block = victim.addr;
+        self.l1.remove(block);
+        if self.cfg.verify && !victim.ecc_ok() {
+            self.violations.push(
+                CoherenceViolation::EccMismatch {
+                    node: self.id,
+                    addr: block,
+                }
+                .into(),
+            );
+        }
+        match self.protocol {
+            Protocol::Directory => {
+                self.end_epoch(block, victim.data.hash());
+                if victim.state.dirty() {
+                    self.stats.writebacks += 1;
+                    self.evicting.insert(
+                        block,
+                        EvictBuf {
+                            data: victim.data,
+                            state: victim.state,
+                        },
+                    );
+                    self.msg_out.push_back(Outbound {
+                        dst: self.home_of(block),
+                        msg: Msg::PutM {
+                            req: self.id,
+                            addr: block,
+                            data: victim.data,
+                        },
+                    });
+                }
+            }
+            Protocol::Snooping => {
+                if victim.state.dirty() {
+                    // Remain owner (and keep the epoch open) until the PutM
+                    // is observed on the ordered network.
+                    self.stats.writebacks += 1;
+                    self.evicting.insert(
+                        block,
+                        EvictBuf {
+                            data: victim.data,
+                            state: victim.state,
+                        },
+                    );
+                    self.addr_out.push_back(AddrReq {
+                        kind: SnoopKind::PutM,
+                        req: self.id,
+                        addr: block,
+                    });
+                } else {
+                    // Silent S eviction; the epoch ends now.
+                    self.end_epoch(block, victim.data.hash());
+                }
+            }
+        }
+    }
+
+    // ----- directory message handling -----------------------------------
+
+    fn process_inbox(&mut self) {
+        while let Some(msg) = self.inbox.pop_front() {
+            self.handle_msg(msg);
+        }
+    }
+
+    fn handle_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::DataS { addr, data } => {
+                self.fill(addr, data, Mosi::S, u64::MAX);
+                self.send_unblock(addr);
+            }
+            Msg::DataM { addr, data } => {
+                self.fill(addr, data, Mosi::M, u64::MAX);
+                self.send_unblock(addr);
+            }
+            Msg::SnoopData {
+                addr,
+                data,
+                exclusive,
+                order,
+            } => {
+                // Snooping data response for our outstanding request.
+                let state = if exclusive { Mosi::M } else { Mosi::S };
+                self.fill(addr, data, state, order);
+            }
+            Msg::UpgradeAck { addr } => {
+                // O -> M upgrade: permission without data.
+                let hash = match self.l2.lookup_mut(addr) {
+                    Some(line) => {
+                        line.state = Mosi::M;
+                        line.data.hash()
+                    }
+                    None => {
+                        // Lost the line to a racing invalidation; retry as
+                        // a full GetM.
+                        if self.mshrs.contains_key(&addr) {
+                            self.issue_request(addr, true);
+                        }
+                        return;
+                    }
+                };
+                self.end_epoch(addr, hash);
+                self.begin_epoch(addr, EpochKind::ReadWrite, Some(hash));
+                self.complete_waiters(addr);
+                self.send_unblock(addr);
+            }
+            Msg::Inv { addr } => {
+                self.check_line_ecc(addr);
+                if let Some(line) = self.l2.remove(addr) {
+                    self.l1.remove(addr);
+                    self.end_epoch(addr, line.data.hash());
+                    self.invalidated.push(addr);
+                }
+                self.msg_out.push_back(Outbound {
+                    dst: self.home_of(addr),
+                    msg: Msg::InvAck {
+                        from: self.id,
+                        addr,
+                    },
+                });
+            }
+            Msg::RecallShare { addr } => {
+                let data = if let Some(line) = self.l2.lookup_mut(addr) {
+                    let data = line.data;
+                    let was_m = line.state == Mosi::M;
+                    line.state = Mosi::O;
+                    if was_m {
+                        let hash = data.hash();
+                        self.end_epoch(addr, hash);
+                        self.begin_epoch(addr, EpochKind::ReadOnly, Some(hash));
+                    }
+                    self.check_line_ecc(addr);
+                    Some(data)
+                } else if let Some(buf) = self.evicting.get_mut(&addr) {
+                    buf.state = Mosi::O;
+                    Some(buf.data)
+                } else {
+                    None
+                };
+                if let Some(data) = data {
+                    self.msg_out.push_back(Outbound {
+                        dst: self.home_of(addr),
+                        msg: Msg::RecallAck {
+                            from: self.id,
+                            addr,
+                            data,
+                        },
+                    });
+                }
+            }
+            Msg::RecallInv { addr } => {
+                self.check_line_ecc(addr);
+                let data = if let Some(line) = self.l2.remove(addr) {
+                    self.l1.remove(addr);
+                    self.end_epoch(addr, line.data.hash());
+                    self.invalidated.push(addr);
+                    Some(line.data)
+                } else {
+                    self.evicting.get(&addr).map(|b| b.data)
+                };
+                if let Some(data) = data {
+                    self.msg_out.push_back(Outbound {
+                        dst: self.home_of(addr),
+                        msg: Msg::RecallAck {
+                            from: self.id,
+                            addr,
+                            data,
+                        },
+                    });
+                }
+            }
+            Msg::PutAck { addr, .. } => {
+                self.evicting.remove(&addr);
+            }
+            // Requests and epoch messages are home-side; a cache receiving
+            // one indicates a mis-routed message, which the home-side
+            // checks surface. Ignore here.
+            Msg::GetS { .. }
+            | Msg::GetM { .. }
+            | Msg::PutM { .. }
+            | Msg::InvAck { .. }
+            | Msg::RecallAck { .. }
+            | Msg::Unblock { .. }
+            | Msg::Epoch(_)
+            | Msg::Ber { .. } => {}
+        }
+    }
+
+    // ----- snooping -------------------------------------------------------
+
+    fn process_snoops(&mut self) {
+        while let Some((order, req)) = self.snoop_in.pop_front() {
+            self.last_order = order;
+            self.handle_snoop(req);
+        }
+    }
+
+    /// If we have an observed, still-dataless request for `block`, record
+    /// an obligation to serve `req` once our data arrives. Returns whether
+    /// the obligation was recorded (or absorbed). Obligations stop at the
+    /// first GetM: the requester becomes the next owner, and requests
+    /// ordered after it are that owner's to serve.
+    fn record_obligation(&mut self, block: BlockAddr, kind: SnoopKind, req: NodeId) -> bool {
+        let order = self.last_order;
+        let Some(m) = self.mshrs.get_mut(&block) else {
+            return false;
+        };
+        if !m.observed || self.l2.peek(block).is_some() {
+            return false;
+        }
+        if m.obligations.iter().any(|(k, _, _)| *k == SnoopKind::GetM) {
+            return true; // absorbed: the pending new owner serves it
+        }
+        // A GetS only obligates a future *owner*; if our request is a
+        // GetS, memory or the old owner serves the reader.
+        if kind == SnoopKind::GetS && !m.exclusive {
+            return false;
+        }
+        m.obligations.push((kind, req, order));
+        true
+    }
+
+    fn handle_snoop(&mut self, req: AddrReq) {
+        let mine = req.req == self.id;
+        let block = req.addr;
+        match (req.kind, mine) {
+            (SnoopKind::GetS, true) => {
+                let order = self.last_order;
+                let stashed = match self.mshrs.get_mut(&block) {
+                    Some(m) => {
+                        m.observed = true;
+                        m.order = order;
+                        if m.stashed_order == order {
+                            m.stashed.take()
+                        } else {
+                            m.stashed = None;
+                            None
+                        }
+                    }
+                    None => None,
+                };
+                self.begin_epoch(block, EpochKind::ReadOnly, None);
+                if let Some((data, state)) = stashed {
+                    self.fill(block, data, state, order);
+                }
+            }
+            (SnoopKind::GetM, true) => {
+                if let Some(line) = self.l2.lookup_mut(block) {
+                    // Upgrade in place: permission is granted by the
+                    // observation point; we already hold the data.
+                    line.state = Mosi::M;
+                    let hash = line.data.hash();
+                    self.end_epoch(block, hash);
+                    self.begin_epoch(block, EpochKind::ReadWrite, Some(hash));
+                    self.complete_waiters(block);
+                } else {
+                    let order = self.last_order;
+                    let stashed = match self.mshrs.get_mut(&block) {
+                        Some(m) => {
+                            m.observed = true;
+                            m.order = order;
+                            if m.stashed_order == order {
+                                m.stashed.take()
+                            } else {
+                                m.stashed = None;
+                                None
+                            }
+                        }
+                        None => None,
+                    };
+                    self.begin_epoch(block, EpochKind::ReadWrite, None);
+                    if let Some((data, state)) = stashed {
+                        self.fill(block, data, state, order);
+                    }
+                }
+            }
+            (SnoopKind::PutM, true) => {
+                if let Some(buf) = self.evicting.remove(&block) {
+                    self.end_epoch(block, buf.data.hash());
+                    if buf.state.dirty() {
+                        self.msg_out.push_back(Outbound {
+                            dst: self.home_of(block),
+                            msg: Msg::PutM {
+                                req: self.id,
+                                addr: block,
+                                data: buf.data,
+                            },
+                        });
+                    }
+                }
+                // Release any request for this block that waited for the
+                // writeback's ordering point.
+                let reissue = match self.mshrs.get_mut(&block) {
+                    Some(m) if m.deferred => {
+                        m.deferred = false;
+                        Some(m.exclusive)
+                    }
+                    _ => None,
+                };
+                if let Some(want_m) = reissue {
+                    self.issue_request(block, want_m);
+                }
+            }
+            (SnoopKind::GetS, false) => {
+                if self.record_obligation(block, SnoopKind::GetS, req.req) {
+                    return;
+                }
+                // Owner supplies data and downgrades M -> O.
+                if let Some(line) = self.l2.lookup_mut(block) {
+                    if line.state.dirty() {
+                        let data = line.data;
+                        let was_m = line.state == Mosi::M;
+                        line.state = Mosi::O;
+                        if was_m {
+                            let hash = data.hash();
+                            self.end_epoch(block, hash);
+                            self.begin_epoch(block, EpochKind::ReadOnly, Some(hash));
+                        }
+                        self.check_line_ecc(block);
+                        let order = self.last_order;
+                        self.msg_out.push_back(Outbound {
+                            dst: req.req,
+                            msg: Msg::SnoopData {
+                                addr: block,
+                                data,
+                                exclusive: false,
+                                order,
+                            },
+                        });
+                    }
+                } else if let Some(buf) = self.evicting.get_mut(&block) {
+                    if buf.state.dirty() {
+                        buf.state = Mosi::O;
+                        let data = buf.data;
+                        let order = self.last_order;
+                        self.msg_out.push_back(Outbound {
+                            dst: req.req,
+                            msg: Msg::SnoopData {
+                                addr: block,
+                                data,
+                                exclusive: false,
+                                order,
+                            },
+                        });
+                    }
+                }
+            }
+            (SnoopKind::GetM, false) => {
+                if self.record_obligation(block, SnoopKind::GetM, req.req) {
+                    return;
+                }
+                if let Some(line) = self.l2.remove(block) {
+                    self.l1.remove(block);
+                    if line.state.dirty() {
+                        self.check_removed_ecc(block, &line);
+                        let order = self.last_order;
+                        self.msg_out.push_back(Outbound {
+                            dst: req.req,
+                            msg: Msg::SnoopData {
+                                addr: block,
+                                data: line.data,
+                                exclusive: true,
+                                order,
+                            },
+                        });
+                    }
+                    self.end_epoch(block, line.data.hash());
+                    self.invalidated.push(block);
+                } else if let Some(buf) = self.evicting.remove(&block) {
+                    if buf.state.dirty() {
+                        let order = self.last_order;
+                        self.msg_out.push_back(Outbound {
+                            dst: req.req,
+                            msg: Msg::SnoopData {
+                                addr: block,
+                                data: buf.data,
+                                exclusive: true,
+                                order,
+                            },
+                        });
+                    }
+                    self.end_epoch(block, buf.data.hash());
+                }
+            }
+            (SnoopKind::PutM, false) => {}
+        }
+    }
+
+    fn check_removed_ecc(&mut self, block: BlockAddr, line: &Line<Mosi>) {
+        if self.cfg.verify && !line.ecc_ok() {
+            self.violations.push(
+                CoherenceViolation::EccMismatch {
+                    node: self.id,
+                    addr: block,
+                }
+                .into(),
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for CacheNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheNode")
+            .field("id", &self.id)
+            .field("protocol", &self.protocol)
+            .field("l2_lines", &self.l2.len())
+            .field("mshrs", &self.mshrs.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,150 @@
+//! The processor ↔ cache-controller interface.
+
+use dvmc_types::WordAddr;
+
+/// A request from the processor core to its cache hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcReq {
+    /// A demand load.
+    Read {
+        /// Request id, echoed in the response.
+        id: u64,
+        /// Word to read.
+        addr: WordAddr,
+    },
+    /// A committed store draining from the write buffer. The store
+    /// *performs* when the response arrives.
+    Write {
+        /// Request id.
+        id: u64,
+        /// Word to write.
+        addr: WordAddr,
+        /// Value to write.
+        value: u64,
+    },
+    /// An atomic swap: writes `value`, returns the old word value.
+    Atomic {
+        /// Request id.
+        id: u64,
+        /// Word to access.
+        addr: WordAddr,
+        /// Value to swap in.
+        value: u64,
+    },
+    /// A verification-stage replay read (bypasses the write buffer by
+    /// construction; counted separately for Figure 6).
+    ReplayRead {
+        /// Request id.
+        id: u64,
+        /// Word to read.
+        addr: WordAddr,
+    },
+    /// A best-effort prefetch; no response is generated.
+    Prefetch {
+        /// Word whose block to prefetch.
+        addr: WordAddr,
+        /// Prefetch for write (GetM) rather than read (GetS).
+        exclusive: bool,
+    },
+}
+
+impl ProcReq {
+    /// The request id, if the request produces a response.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            ProcReq::Read { id, .. }
+            | ProcReq::Write { id, .. }
+            | ProcReq::Atomic { id, .. }
+            | ProcReq::ReplayRead { id, .. } => Some(*id),
+            ProcReq::Prefetch { .. } => None,
+        }
+    }
+
+    /// The word accessed.
+    pub fn addr(&self) -> WordAddr {
+        match self {
+            ProcReq::Read { addr, .. }
+            | ProcReq::Write { addr, .. }
+            | ProcReq::Atomic { addr, .. }
+            | ProcReq::ReplayRead { addr, .. }
+            | ProcReq::Prefetch { addr, .. } => *addr,
+        }
+    }
+
+    /// Whether this request needs write permission.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            ProcReq::Write { .. }
+                | ProcReq::Atomic { .. }
+                | ProcReq::Prefetch {
+                    exclusive: true,
+                    ..
+                }
+        )
+    }
+}
+
+/// A completed cache request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProcResp {
+    /// The id of the completed [`ProcReq`].
+    pub id: u64,
+    /// For reads/replays: the value read. For writes: the value written.
+    /// For atomics: the *old* value.
+    pub value: u64,
+    /// Whether the access missed in the L1.
+    pub l1_miss: bool,
+    /// Whether the access required a coherence transaction (L2 miss or
+    /// permission upgrade).
+    pub coherence_miss: bool,
+    /// Whether this was a replay read.
+    pub replay: bool,
+}
+
+/// Aggregate cache-controller statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Demand accesses that hit in L1.
+    pub l1_hits: u64,
+    /// Demand accesses that missed in L1.
+    pub l1_misses: u64,
+    /// Demand accesses that needed a coherence transaction.
+    pub coherence_misses: u64,
+    /// Replay reads processed.
+    pub replay_reads: u64,
+    /// Replay reads that missed in L1.
+    pub replay_l1_misses: u64,
+    /// Replay reads that needed a coherence transaction.
+    pub replay_coherence_misses: u64,
+    /// Dirty writebacks (PutM) issued.
+    pub writebacks: u64,
+    /// Inform-Epoch family messages sent to homes.
+    pub informs_sent: u64,
+    /// Long-running epochs registered open by the scrub FIFO (§4.3
+    /// timestamp-wraparound handling).
+    pub scrub_opens: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_accessors() {
+        let r = ProcReq::Atomic {
+            id: 3,
+            addr: WordAddr(40),
+            value: 9,
+        };
+        assert_eq!(r.id(), Some(3));
+        assert_eq!(r.addr(), WordAddr(40));
+        assert!(r.is_write());
+        let p = ProcReq::Prefetch {
+            addr: WordAddr(8),
+            exclusive: false,
+        };
+        assert_eq!(p.id(), None);
+        assert!(!p.is_write());
+    }
+}

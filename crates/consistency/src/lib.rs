@@ -1,0 +1,29 @@
+//! Memory consistency models as *ordering tables* (§2.2, §4, Tables 1–4).
+//!
+//! A consistency model is specified as a table whose rows and columns are
+//! labelled with operation types. A `true` entry at (row `OPx`, column
+//! `OPy`) means: every operation of type `OPx` that precedes an operation
+//! `Y` of type `OPy` in program order must also *perform* before `Y`.
+//!
+//! SPARC v9's flexible `Membar` instruction carries a 4-bit mask (LL, LS,
+//! SL, SS); table entries involving membars hold masks instead of booleans,
+//! and the boolean is obtained by ANDing the instruction's mask with the
+//! table's mask (§4).
+//!
+//! This crate provides:
+//!
+//! * [`MembarMask`] — the 4-bit SPARC membar ordering mask.
+//! * [`OpClass`] — the dynamic class of a memory operation (load, store,
+//!   atomic read-modify-write, membar, stbar).
+//! * [`OpKind`] — the three counter classes of the Allowable Reordering
+//!   checker (`Load`, `Store`, `Membar`).
+//! * [`Model`] / [`OrderingTable`] — SC, TSO, PSO, RMO, and PC tables with
+//!   the membar-mask resolution rule.
+
+pub mod membar;
+pub mod op;
+pub mod table;
+
+pub use membar::MembarMask;
+pub use op::{OpClass, OpKind};
+pub use table::{requires_between, Model, OrderingTable, Requirement};

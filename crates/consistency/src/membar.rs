@@ -1,0 +1,154 @@
+//! The SPARC v9 membar ordering mask.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// The 4-bit ordering mask carried by a SPARC v9 `Membar` instruction (§4).
+///
+/// Each bit requests one class of ordering between operations before and
+/// after the membar in program order:
+///
+/// * `LL` — loads before the membar perform before loads after it,
+/// * `LS` — loads before stores,
+/// * `SL` — stores before loads,
+/// * `SS` — stores before stores.
+///
+/// `Stbar` is equivalent to `Membar #StoreStore` (Table 3 note).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MembarMask(u8);
+
+impl MembarMask {
+    /// The empty mask: orders nothing.
+    pub const NONE: MembarMask = MembarMask(0);
+    /// Load-Load ordering (`#LoadLoad`).
+    pub const LL: MembarMask = MembarMask(0b0001);
+    /// Load-Store ordering (`#LoadStore`).
+    pub const LS: MembarMask = MembarMask(0b0010);
+    /// Store-Load ordering (`#StoreLoad`).
+    pub const SL: MembarMask = MembarMask(0b0100);
+    /// Store-Store ordering (`#StoreStore`).
+    pub const SS: MembarMask = MembarMask(0b1000);
+    /// All four orderings: a full fence (`#Sync`-strength membar).
+    pub const ALL: MembarMask = MembarMask(0b1111);
+
+    /// Builds a mask from its raw 4-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits above the low 4 are set.
+    pub fn from_bits(bits: u8) -> MembarMask {
+        assert!(bits <= 0b1111, "membar mask is 4 bits");
+        MembarMask(bits)
+    }
+
+    /// The raw 4-bit encoding.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether any bit is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this mask and `other` share any bit — the paper's AND rule:
+    /// "A boolean value is obtained from the mask by computing the logical
+    /// AND between the mask in the instruction and the mask in the table.
+    /// If the result is non-zero, ordering is required."
+    #[inline]
+    pub fn intersects(self, other: MembarMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether all bits of `other` are contained in this mask.
+    #[inline]
+    pub fn contains(self, other: MembarMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Const-context union, for building the static ordering tables.
+    #[inline]
+    pub const fn union(self, other: MembarMask) -> MembarMask {
+        MembarMask(self.0 | other.0)
+    }
+}
+
+impl BitOr for MembarMask {
+    type Output = MembarMask;
+    fn bitor(self, rhs: MembarMask) -> MembarMask {
+        MembarMask(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for MembarMask {
+    type Output = MembarMask;
+    fn bitand(self, rhs: MembarMask) -> MembarMask {
+        MembarMask(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Debug for MembarMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "#none");
+        }
+        let mut first = true;
+        for (bit, name) in [
+            (Self::LL, "LL"),
+            (Self::LS, "LS"),
+            (Self::SL, "SL"),
+            (Self::SS, "SS"),
+        ] {
+            if self.intersects(bit) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "#{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MembarMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_rule() {
+        let instr = MembarMask::SL;
+        assert!(instr.intersects(MembarMask::SL | MembarMask::SS));
+        assert!(!instr.intersects(MembarMask::LL | MembarMask::LS));
+    }
+
+    #[test]
+    fn ops_compose() {
+        let m = MembarMask::LL | MembarMask::SS;
+        assert!(m.contains(MembarMask::LL));
+        assert!(m.contains(MembarMask::SS));
+        assert!(!m.contains(MembarMask::SL));
+        assert_eq!((m & MembarMask::LL).bits(), MembarMask::LL.bits());
+    }
+
+    #[test]
+    fn debug_rendering() {
+        assert_eq!(format!("{:?}", MembarMask::NONE), "#none");
+        assert_eq!(format!("{:?}", MembarMask::LL | MembarMask::SS), "#LL|#SS");
+        assert_eq!(format!("{:?}", MembarMask::ALL), "#LL|#LS|#SL|#SS");
+    }
+
+    #[test]
+    #[should_panic(expected = "4 bits")]
+    fn from_bits_validates() {
+        let _ = MembarMask::from_bits(0b1_0000);
+    }
+}

@@ -1,0 +1,137 @@
+//! Operation classes and the checker's counter classes.
+
+use crate::membar::MembarMask;
+use std::fmt;
+
+/// The three operation-type classes tracked by the Allowable Reordering
+/// checker's `max{OP}` counter registers (§4.2).
+///
+/// Atomic read-modify-write operations "must satisfy ordering requirements
+/// for both store and load" (§4), so they participate in both the `Load`
+/// and `Store` classes; they are not a class of their own.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// Loads (and the load half of atomics).
+    Load,
+    /// Stores (and the store half of atomics).
+    Store,
+    /// Memory barriers (`Membar`, `Stbar`).
+    Membar,
+}
+
+impl OpKind {
+    /// All counter classes, for iteration.
+    pub const ALL: [OpKind; 3] = [OpKind::Load, OpKind::Store, OpKind::Membar];
+
+    /// Index into per-kind arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Load => 0,
+            OpKind::Store => 1,
+            OpKind::Membar => 2,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The dynamic class of a memory operation as decoded.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpClass {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+    /// An atomic read-modify-write (swap, cas, ldstub); ordered as both a
+    /// load and a store.
+    Atomic,
+    /// A `Membar` with its 4-bit ordering mask.
+    Membar(MembarMask),
+    /// `Stbar`: store-store ordering, equivalent to `Membar #StoreStore`
+    /// (Table 3 note). Kept distinct because PSO programs use it natively.
+    Stbar,
+}
+
+impl OpClass {
+    /// The counter classes this operation belongs to.
+    pub fn kinds(self) -> &'static [OpKind] {
+        match self {
+            OpClass::Load => &[OpKind::Load],
+            OpClass::Store => &[OpKind::Store],
+            OpClass::Atomic => &[OpKind::Load, OpKind::Store],
+            OpClass::Membar(_) | OpClass::Stbar => &[OpKind::Membar],
+        }
+    }
+
+    /// The effective membar mask: the instruction's mask for `Membar`,
+    /// `#SS` for `Stbar`, empty otherwise.
+    pub fn membar_mask(self) -> MembarMask {
+        match self {
+            OpClass::Membar(m) => m,
+            OpClass::Stbar => MembarMask::SS,
+            _ => MembarMask::NONE,
+        }
+    }
+
+    /// Whether the operation reads memory.
+    pub fn reads(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Atomic)
+    }
+
+    /// Whether the operation writes memory.
+    pub fn writes(self) -> bool {
+        matches!(self, OpClass::Store | OpClass::Atomic)
+    }
+
+    /// Whether the operation is a barrier (accesses no memory).
+    pub fn is_barrier(self) -> bool {
+        matches!(self, OpClass::Membar(_) | OpClass::Stbar)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpClass::Load => write!(f, "Load"),
+            OpClass::Store => write!(f, "Store"),
+            OpClass::Atomic => write!(f, "Atomic"),
+            OpClass::Membar(m) => write!(f, "Membar({m})"),
+            OpClass::Stbar => write!(f, "Stbar"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_is_both_kinds() {
+        assert_eq!(OpClass::Atomic.kinds(), &[OpKind::Load, OpKind::Store]);
+        assert!(OpClass::Atomic.reads() && OpClass::Atomic.writes());
+    }
+
+    #[test]
+    fn stbar_is_membar_ss() {
+        assert_eq!(OpClass::Stbar.membar_mask(), MembarMask::SS);
+        assert_eq!(OpClass::Stbar.kinds(), &[OpKind::Membar]);
+        assert!(OpClass::Stbar.is_barrier());
+    }
+
+    #[test]
+    fn plain_ops_have_empty_mask() {
+        assert!(OpClass::Load.membar_mask().is_empty());
+        assert!(OpClass::Store.membar_mask().is_empty());
+    }
+
+    #[test]
+    fn kind_indices_are_distinct() {
+        let idx: Vec<usize> = OpKind::ALL.iter().map(|k| k.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests of the ordering tables: strictness is monotone
+//! SC ⊇ PC = TSO ⊇ PSO ⊇ RMO for plain accesses, and the cross-model
+//! union rule is conservative.
+
+use dvmc_consistency::{requires_between, MembarMask, Model, OpClass};
+use proptest::prelude::*;
+
+fn plain_class() -> impl Strategy<Value = OpClass> {
+    prop_oneof![
+        Just(OpClass::Load),
+        Just(OpClass::Store),
+        Just(OpClass::Atomic),
+    ]
+}
+
+fn any_class() -> impl Strategy<Value = OpClass> {
+    prop_oneof![
+        3 => plain_class(),
+        1 => (0u8..16).prop_map(|b| OpClass::Membar(MembarMask::from_bits(b))),
+        1 => Just(OpClass::Stbar),
+    ]
+}
+
+proptest! {
+    /// Every ordering a weaker model requires is required by every
+    /// stronger model (strictness chain for plain accesses).
+    #[test]
+    fn strictness_is_monotone(a in plain_class(), b in plain_class()) {
+        let chain = [Model::Sc, Model::Tso, Model::Pso, Model::Rmo];
+        for pair in chain.windows(2) {
+            let (stronger, weaker) = (pair[0], pair[1]);
+            if weaker.table().requires(a, b) {
+                prop_assert!(
+                    stronger.table().requires(a, b),
+                    "{weaker} requires {a}->{b} but {stronger} does not"
+                );
+            }
+        }
+        prop_assert_eq!(
+            Model::Pc.table().requires(a, b),
+            Model::Tso.table().requires(a, b),
+            "PC and TSO agree on plain accesses"
+        );
+    }
+
+    /// The cross-model union rule equals the disjunction of both tables.
+    #[test]
+    fn union_rule_is_conservative(
+        a in any_class(),
+        b in any_class(),
+        m1 in prop_oneof![Just(Model::Sc), Just(Model::Tso), Just(Model::Pso), Just(Model::Rmo)],
+        m2 in prop_oneof![Just(Model::Sc), Just(Model::Tso), Just(Model::Pso), Just(Model::Rmo)],
+    ) {
+        let union = requires_between(m1, a, m2, b);
+        prop_assert!(union >= m1.table().requires(a, b));
+        prop_assert!(union >= m2.table().requires(a, b));
+        prop_assert_eq!(union, m1.table().requires(a, b) || m2.table().requires(a, b));
+    }
+
+    /// A full-mask membar orders everything against everything, under
+    /// every model.
+    #[test]
+    fn full_membar_is_a_fence(a in plain_class()) {
+        for model in Model::ALL {
+            let fence = OpClass::Membar(MembarMask::ALL);
+            prop_assert!(model.table().requires(a, fence), "{model}: {a} -> fence");
+            prop_assert!(model.table().requires(fence, a), "{model}: fence -> {a}");
+        }
+    }
+
+    /// An empty-mask membar orders nothing under RMO (plain columns).
+    #[test]
+    fn empty_membar_is_inert_when_relaxed(a in plain_class()) {
+        let nop = OpClass::Membar(MembarMask::NONE);
+        prop_assert!(!Model::Rmo.table().requires(a, nop));
+        prop_assert!(!Model::Rmo.table().requires(nop, a));
+    }
+}

@@ -1,0 +1,224 @@
+//! Epoch wire types exchanged between cache and memory controllers (§4.3).
+
+use dvmc_types::{BlockAddr, NodeId, Ts16};
+use std::fmt;
+
+/// The permission class of an epoch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EpochKind {
+    /// Permission to read the block.
+    ReadOnly,
+    /// Permission to read and write the block.
+    ReadWrite,
+}
+
+impl fmt::Display for EpochKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EpochKind::ReadOnly => "RO",
+            EpochKind::ReadWrite => "RW",
+        })
+    }
+}
+
+/// Sent by a cache controller to the block's home node when an epoch ends
+/// (coherence downgrade/invalidation or eviction).
+///
+/// For Read-Only epochs the block data cannot change, so `end_hash` always
+/// equals `start_hash` (the paper omits the second checksum on the wire;
+/// we keep the field and let the message-size accounting in
+/// [`crate::cost`] exclude it).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InformEpoch {
+    /// The block whose epoch ended.
+    pub addr: BlockAddr,
+    /// Read-Only or Read-Write.
+    pub kind: EpochKind,
+    /// The cache that held the epoch.
+    pub node: NodeId,
+    /// Logical time at which the epoch began.
+    pub start: Ts16,
+    /// Logical time at which the epoch ended.
+    pub end: Ts16,
+    /// CRC-16 of the block data at the beginning of the epoch.
+    pub start_hash: u16,
+    /// CRC-16 of the block data at the end of the epoch.
+    pub end_hash: u16,
+}
+
+/// Sent when the CET scrub FIFO finds an epoch still in progress near its
+/// timestamp-wraparound deadline: the home should record the epoch as open
+/// and expect a single [`InformClosedEpoch`] later.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InformOpenEpoch {
+    /// The block whose epoch is still in progress.
+    pub addr: BlockAddr,
+    /// Read-Only or Read-Write.
+    pub kind: EpochKind,
+    /// The cache holding the epoch.
+    pub node: NodeId,
+    /// Logical time at which the epoch began.
+    pub start: Ts16,
+    /// CRC-16 of the block data at the beginning of the epoch.
+    pub start_hash: u16,
+}
+
+/// Closes an epoch previously reported with [`InformOpenEpoch`].
+///
+/// The paper's message carries only the block address and end time; we add
+/// the end-of-epoch data hash so the MET's hash chain stays unbroken for
+/// Read-Write epochs (see DESIGN.md, fidelity notes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InformClosedEpoch {
+    /// The block whose open epoch ended.
+    pub addr: BlockAddr,
+    /// The cache that held the epoch.
+    pub node: NodeId,
+    /// Logical time at which the epoch ended.
+    pub end: Ts16,
+    /// CRC-16 of the block data at the end of the epoch.
+    pub end_hash: u16,
+}
+
+/// Any message processed by the home's epoch checker.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EpochMessage {
+    /// A completed epoch.
+    Inform(InformEpoch),
+    /// A long-running epoch being registered as open.
+    Open(InformOpenEpoch),
+    /// The close of a previously registered open epoch.
+    Closed(InformClosedEpoch),
+}
+
+impl EpochMessage {
+    /// The timestamp the sorter orders by: epoch start for
+    /// `Inform`/`Open`, epoch end for `Closed`.
+    pub fn sort_time(&self) -> Ts16 {
+        match self {
+            EpochMessage::Inform(m) => m.start,
+            EpochMessage::Open(m) => m.start,
+            EpochMessage::Closed(m) => m.end,
+        }
+    }
+
+    /// Tie-break key for messages sharing a start time: the epoch's end.
+    /// Epochs that end sooner are processed first, so a zero-length epoch
+    /// is checked against the state *before* its same-tick peers — with a
+    /// slow logical clock, causally ordered events can share a timestamp
+    /// (§4.3 permits arbitrary tie-breaking only between causally
+    /// unordered events; end-time order reconstructs the causal order
+    /// among same-start epochs). Open epochs are still running and sort
+    /// last.
+    pub fn tiebreak_end(&self) -> Option<Ts16> {
+        match self {
+            EpochMessage::Inform(m) => Some(m.end),
+            EpochMessage::Open(_) => None,
+            EpochMessage::Closed(m) => Some(m.end),
+        }
+    }
+
+    /// The block the message concerns.
+    pub fn addr(&self) -> BlockAddr {
+        match self {
+            EpochMessage::Inform(m) => m.addr,
+            EpochMessage::Open(m) => m.addr,
+            EpochMessage::Closed(m) => m.addr,
+        }
+    }
+
+    /// Approximate wire size in bytes, for bandwidth accounting
+    /// (address + type + timestamps + hashes; Read-Only informs omit the
+    /// second checksum, as in the paper).
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            EpochMessage::Inform(m) => {
+                // 6B address + 1B type/kind + 2x2B timestamps + hashes.
+                let hashes = if m.kind == EpochKind::ReadOnly { 2 } else { 4 };
+                6 + 1 + 4 + hashes
+            }
+            EpochMessage::Open(_) => 6 + 1 + 2 + 2,
+            EpochMessage::Closed(_) => 6 + 1 + 2 + 2,
+        }
+    }
+}
+
+impl From<InformEpoch> for EpochMessage {
+    fn from(m: InformEpoch) -> Self {
+        EpochMessage::Inform(m)
+    }
+}
+impl From<InformOpenEpoch> for EpochMessage {
+    fn from(m: InformOpenEpoch) -> Self {
+        EpochMessage::Open(m)
+    }
+}
+impl From<InformClosedEpoch> for EpochMessage {
+    fn from(m: InformClosedEpoch) -> Self {
+        EpochMessage::Closed(m)
+    }
+}
+
+/// What a cache controller emits when an epoch ends: a regular
+/// [`InformEpoch`], or an [`InformClosedEpoch`] if the epoch had been
+/// registered open by the scrub machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EpochEnd {
+    /// The epoch completed normally.
+    Inform(InformEpoch),
+    /// The epoch had been reported open; this closes it.
+    Closed(InformClosedEpoch),
+}
+
+impl From<EpochEnd> for EpochMessage {
+    fn from(e: EpochEnd) -> Self {
+        match e {
+            EpochEnd::Inform(m) => EpochMessage::Inform(m),
+            EpochEnd::Closed(m) => EpochMessage::Closed(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_time_picks_start_or_end() {
+        let inform = EpochMessage::Inform(InformEpoch {
+            addr: BlockAddr(1),
+            kind: EpochKind::ReadWrite,
+            node: NodeId(0),
+            start: Ts16(4),
+            end: Ts16(9),
+            start_hash: 0,
+            end_hash: 0,
+        });
+        assert_eq!(inform.sort_time(), Ts16(4));
+        let closed = EpochMessage::Closed(InformClosedEpoch {
+            addr: BlockAddr(1),
+            node: NodeId(0),
+            end: Ts16(7),
+            end_hash: 0,
+        });
+        assert_eq!(closed.sort_time(), Ts16(7));
+        assert_eq!(closed.addr(), BlockAddr(1));
+    }
+
+    #[test]
+    fn ro_informs_are_smaller_on_the_wire() {
+        let mk = |kind| {
+            EpochMessage::Inform(InformEpoch {
+                addr: BlockAddr(1),
+                kind,
+                node: NodeId(0),
+                start: Ts16(0),
+                end: Ts16(1),
+                start_hash: 0,
+                end_hash: 0,
+            })
+            .wire_bytes()
+        };
+        assert!(mk(EpochKind::ReadOnly) < mk(EpochKind::ReadWrite));
+    }
+}

@@ -1,0 +1,235 @@
+//! # Fault injection (§6.1)
+//!
+//! The paper tests DVMC's error-detection capability by injecting errors
+//! "into all components related to the memory system: the load/store
+//! queue (LSQ), write buffer, caches, interconnect switches and links,
+//! and memory and cache controllers. The injected errors included data and
+//! address bit flips; dropped, reordered, mis-routed, and duplicated
+//! messages; and reorderings and incorrect forwarding in the LSQ and
+//! write buffer."
+//!
+//! This crate defines the corresponding fault vocabulary and deterministic
+//! random fault-plan generation (error time, type, and location chosen at
+//! random per trial). The simulator executes the plan through the fault
+//! hooks exposed by the pipeline, cache, home, and network components.
+
+use dvmc_types::rng::DetRng;
+use dvmc_types::{Cycle, NodeId};
+use rand::Rng;
+use std::fmt;
+
+/// A concrete injectable error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Flip a data bit in a resident L2 line (cache data error).
+    CacheBitFlip {
+        /// The node whose cache is corrupted.
+        node: NodeId,
+    },
+    /// Flip a data bit in a resident memory block (memory data error).
+    MemoryBitFlip {
+        /// The home node whose memory is corrupted.
+        node: NodeId,
+    },
+    /// Drop the next point-to-point message (interconnect error).
+    DropMessage,
+    /// Deliver the next point-to-point message twice.
+    DuplicateMessage,
+    /// Send the next point-to-point message to the wrong node.
+    MisrouteMessage {
+        /// The wrong destination.
+        to: NodeId,
+    },
+    /// Hold the next message so it reorders behind later traffic.
+    ReorderMessage {
+        /// Extra delay in cycles.
+        delay: u32,
+    },
+    /// The write buffer silently loses a committed store.
+    WbDropStore {
+        /// The affected processor.
+        node: NodeId,
+    },
+    /// The write buffer drains two stores out of order.
+    WbReorderStores {
+        /// The affected processor.
+        node: NodeId,
+    },
+    /// A write-buffer entry's data is corrupted before draining.
+    WbCorruptValue {
+        /// The affected processor.
+        node: NodeId,
+    },
+    /// A write-buffer entry's address is corrupted (address bit flip).
+    WbAddressFlip {
+        /// The affected processor.
+        node: NodeId,
+    },
+    /// The LSQ forwards a wrong value to the next forwarded load.
+    LsqWrongForward {
+        /// The affected processor.
+        node: NodeId,
+    },
+    /// Cache-controller state error: a Shared line silently becomes
+    /// Modified (SWMR break).
+    CacheCtrlBogusUpgrade {
+        /// The affected node.
+        node: NodeId,
+    },
+    /// Memory-controller state error: the directory forgets a block's
+    /// owner (stale-data / SWMR hazard).
+    MemCtrlForgetOwner {
+        /// The affected home node.
+        node: NodeId,
+    },
+}
+
+impl Fault {
+    /// A short category label for reporting.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Fault::CacheBitFlip { .. } => "cache-data",
+            Fault::MemoryBitFlip { .. } => "memory-data",
+            Fault::DropMessage => "net-drop",
+            Fault::DuplicateMessage => "net-duplicate",
+            Fault::MisrouteMessage { .. } => "net-misroute",
+            Fault::ReorderMessage { .. } => "net-reorder",
+            Fault::WbDropStore { .. } => "wb-drop",
+            Fault::WbReorderStores { .. } => "wb-reorder",
+            Fault::WbCorruptValue { .. } => "wb-data",
+            Fault::WbAddressFlip { .. } => "wb-address",
+            Fault::LsqWrongForward { .. } => "lsq-forward",
+            Fault::CacheCtrlBogusUpgrade { .. } => "cachectrl-state",
+            Fault::MemCtrlForgetOwner { .. } => "memctrl-state",
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.category())?;
+        match self {
+            Fault::CacheBitFlip { node }
+            | Fault::MemoryBitFlip { node }
+            | Fault::WbDropStore { node }
+            | Fault::WbReorderStores { node }
+            | Fault::WbCorruptValue { node }
+            | Fault::WbAddressFlip { node }
+            | Fault::LsqWrongForward { node }
+            | Fault::CacheCtrlBogusUpgrade { node }
+            | Fault::MemCtrlForgetOwner { node } => write!(f, "@{node}"),
+            Fault::MisrouteMessage { to } => write!(f, "->{to}"),
+            Fault::ReorderMessage { delay } => write!(f, "+{delay}"),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A scheduled fault: inject `fault` at `at_cycle`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    /// Injection time.
+    pub at_cycle: Cycle,
+    /// What to inject.
+    pub fault: Fault,
+}
+
+/// Draws a random fault plan: error time within `(warmup, horizon)`,
+/// random type, random location — mirroring §6.1's methodology.
+pub fn random_plan(rng: &mut DetRng, nodes: usize, warmup: Cycle, horizon: Cycle) -> FaultPlan {
+    let at_cycle = rng.gen_range(warmup..horizon);
+    let node = NodeId(rng.gen_range(0..nodes) as u8);
+    let other = NodeId(rng.gen_range(0..nodes) as u8);
+    let fault = match rng.gen_range(0..13u32) {
+        0 => Fault::CacheBitFlip { node },
+        1 => Fault::MemoryBitFlip { node },
+        2 => Fault::DropMessage,
+        3 => Fault::DuplicateMessage,
+        4 => Fault::MisrouteMessage { to: other },
+        5 => Fault::ReorderMessage {
+            delay: rng.gen_range(50..500),
+        },
+        6 => Fault::WbDropStore { node },
+        7 => Fault::WbReorderStores { node },
+        8 => Fault::WbCorruptValue { node },
+        9 => Fault::WbAddressFlip { node },
+        10 => Fault::LsqWrongForward { node },
+        11 => Fault::CacheCtrlBogusUpgrade { node },
+        _ => Fault::MemCtrlForgetOwner { node },
+    };
+    FaultPlan { at_cycle, fault }
+}
+
+/// One fault of every category (for coverage sweeps).
+pub fn all_faults(node: NodeId, other: NodeId) -> Vec<Fault> {
+    vec![
+        Fault::CacheBitFlip { node },
+        Fault::MemoryBitFlip { node },
+        Fault::DropMessage,
+        Fault::DuplicateMessage,
+        Fault::MisrouteMessage { to: other },
+        Fault::ReorderMessage { delay: 200 },
+        Fault::WbDropStore { node },
+        Fault::WbReorderStores { node },
+        Fault::WbCorruptValue { node },
+        Fault::WbAddressFlip { node },
+        Fault::LsqWrongForward { node },
+        Fault::CacheCtrlBogusUpgrade { node },
+        Fault::MemCtrlForgetOwner { node },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvmc_types::rng::det_rng;
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let mut a = det_rng(1);
+        let mut b = det_rng(1);
+        for _ in 0..50 {
+            assert_eq!(
+                random_plan(&mut a, 8, 1000, 50_000),
+                random_plan(&mut b, 8, 1000, 50_000)
+            );
+        }
+    }
+
+    #[test]
+    fn plans_respect_bounds() {
+        let mut rng = det_rng(7);
+        for _ in 0..200 {
+            let p = random_plan(&mut rng, 4, 500, 2_000);
+            assert!((500..2_000).contains(&p.at_cycle));
+        }
+    }
+
+    #[test]
+    fn all_categories_generated() {
+        let mut rng = det_rng(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(random_plan(&mut rng, 8, 0, 10).fault.category());
+        }
+        assert_eq!(seen.len(), 13, "{seen:?}");
+    }
+
+    #[test]
+    fn display_includes_location() {
+        let f = Fault::CacheBitFlip { node: NodeId(3) };
+        assert_eq!(f.to_string(), "cache-data@n3");
+        assert_eq!(Fault::DropMessage.to_string(), "net-drop");
+        assert_eq!(
+            Fault::MisrouteMessage { to: NodeId(1) }.to_string(),
+            "net-misroute->n1"
+        );
+    }
+
+    #[test]
+    fn coverage_list_matches_categories() {
+        let faults = all_faults(NodeId(0), NodeId(1));
+        let cats: std::collections::HashSet<_> = faults.iter().map(|f| f.category()).collect();
+        assert_eq!(cats.len(), faults.len(), "one entry per category");
+    }
+}

@@ -1,0 +1,27 @@
+//! # Interconnect substrate
+//!
+//! The networks of Table 6:
+//!
+//! * [`Torus`] — a 2D torus with XY wraparound routing, per-link bandwidth
+//!   and occupancy modelling, and per-link byte accounting (used for the
+//!   data network in both protocols and the request network in the
+//!   directory protocol; drives Figures 7 and 8).
+//! * [`BroadcastTree`] — the *ordered* broadcast tree used as the snooping
+//!   protocol's address network: every node observes all requests in the
+//!   same total order, which also serves as the snooping system's logical
+//!   time base (§4.3).
+//!
+//! Both networks are generic over the payload type; the coherence and
+//! simulator crates instantiate them with their message enums. Payload
+//! sizes are passed explicitly in bytes so bandwidth accounting reflects
+//! wire format rather than Rust struct layout.
+//!
+//! Fault injection (dropped, duplicated, mis-routed, delayed messages) is
+//! supported through one-shot [`NetFault`] actions armed by the fault
+//! injector.
+
+pub mod torus;
+pub mod tree;
+
+pub use torus::{LinkStats, NetFault, Torus};
+pub use tree::BroadcastTree;

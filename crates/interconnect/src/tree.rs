@@ -1,0 +1,273 @@
+//! The ordered broadcast tree used as the snooping address network
+//! (Table 6: "bcast tree, 2.5 GB/s links, ordered").
+//!
+//! Every request injected anywhere is serialized at the tree root and
+//! delivered to **all** nodes (including the sender) in the same total
+//! order. That total order doubles as the snooping system's logical time
+//! base: "the logical time for each cache and memory controller is the
+//! number of cache coherence requests that it has processed thus far"
+//! (§4.3).
+
+use dvmc_types::{Cycle, NodeId};
+use std::collections::VecDeque;
+
+#[derive(Debug)]
+struct Pending<T> {
+    payload: T,
+    bytes: u32,
+    src: NodeId,
+}
+
+#[derive(Debug)]
+struct InFlight<T> {
+    payload: T,
+    deliver_at: Cycle,
+    order: u64,
+}
+
+/// An ordered broadcast network: per-cycle root arbitration, bandwidth
+/// serialization at the root, and fixed fan-out latency.
+///
+/// # Examples
+///
+/// ```rust
+/// use dvmc_interconnect::BroadcastTree;
+/// use dvmc_types::NodeId;
+///
+/// let mut tree: BroadcastTree<&str> = BroadcastTree::new(4, 16, 3);
+/// tree.send(NodeId(1), "GetM", 8, 0);
+/// let mut got = None;
+/// for c in 0..20 {
+///     tree.tick(c);
+///     if let Some((order, msg)) = tree.recv(NodeId(2)) {
+///         got = Some((order, msg));
+///         break;
+///     }
+/// }
+/// assert_eq!(got, Some((0, "GetM")));
+/// ```
+#[derive(Debug)]
+pub struct BroadcastTree<T> {
+    /// Requests awaiting root arbitration, FIFO.
+    pending: VecDeque<Pending<T>>,
+    /// Serialized requests fanning out to the leaves.
+    in_flight: Vec<InFlight<T>>,
+    /// Delivered requests per node, tagged with their global order.
+    inboxes: Vec<VecDeque<(u64, T)>>,
+    /// Bytes per cycle through the root.
+    root_bandwidth: u32,
+    /// Cycles from root serialization to leaf delivery.
+    fanout_latency: u32,
+    root_free_at: Cycle,
+    next_order: u64,
+    total_bytes: u64,
+    drop_next: bool,
+    drops_applied: u64,
+}
+
+impl<T> BroadcastTree<T> {
+    /// Creates a broadcast tree over `nodes` leaves with the given root
+    /// bandwidth (bytes/cycle) and fan-out latency (cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `root_bandwidth == 0`.
+    pub fn new(nodes: usize, root_bandwidth: u32, fanout_latency: u32) -> Self {
+        assert!(nodes > 0, "tree needs at least one node");
+        assert!(root_bandwidth > 0, "root bandwidth must be positive");
+        BroadcastTree {
+            pending: VecDeque::new(),
+            in_flight: Vec::new(),
+            inboxes: (0..nodes).map(|_| VecDeque::new()).collect(),
+            root_bandwidth,
+            fanout_latency,
+            root_free_at: 0,
+            next_order: 0,
+            total_bytes: 0,
+            drop_next: false,
+            drops_applied: 0,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn nodes(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Injects a request for ordered broadcast.
+    pub fn send(&mut self, src: NodeId, payload: T, bytes: u32, _now: Cycle) {
+        if self.drop_next {
+            self.drop_next = false;
+            self.drops_applied += 1;
+            return;
+        }
+        self.pending.push_back(Pending {
+            payload,
+            bytes,
+            src,
+        });
+    }
+
+    /// Arms a one-shot drop of the next injected request (fault model for
+    /// the ordered network, where mis-routing is not meaningful).
+    pub fn arm_drop(&mut self) {
+        self.drop_next = true;
+    }
+
+    /// Drops applied so far.
+    pub fn drops_applied(&self) -> u64 {
+        self.drops_applied
+    }
+
+    /// Total bytes serialized through the root.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Pops the next delivered `(order, request)` for `node`, if any.
+    /// Orders are globally consecutive; all nodes observe the same
+    /// sequence.
+    pub fn recv(&mut self, node: NodeId) -> Option<(u64, T)> {
+        self.inboxes[node.index()].pop_front()
+    }
+
+    /// Whether any request is still pending, in flight, or undelivered.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty()
+            && self.in_flight.is_empty()
+            && self.inboxes.iter().all(VecDeque::is_empty)
+    }
+}
+
+impl<T: Clone> BroadcastTree<T> {
+    /// Advances the tree to `now`: arbitrates pending requests through the
+    /// root and fans out completed ones to every leaf inbox.
+    pub fn tick(&mut self, now: Cycle) {
+        // Root arbitration with bandwidth serialization.
+        while let Some(front) = self.pending.front() {
+            let start = self.root_free_at.max(now);
+            if start > now {
+                break;
+            }
+            let serialization = (front.bytes as u64).div_ceil(self.root_bandwidth as u64);
+            let p = self.pending.pop_front().expect("front exists");
+            let _ = p.src;
+            self.root_free_at = start + serialization;
+            self.total_bytes += p.bytes as u64;
+            self.in_flight.push(InFlight {
+                payload: p.payload,
+                deliver_at: start + serialization + self.fanout_latency as u64,
+                order: self.next_order,
+            });
+            self.next_order += 1;
+        }
+        // Fan-out: deliver in order to keep all inboxes identically
+        // sequenced even if multiple requests complete in one cycle.
+        self.in_flight.sort_by_key(|m| m.order);
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].deliver_at <= now {
+                let m = self.in_flight.remove(i);
+                for inbox in &mut self.inboxes {
+                    inbox.push_back((m.order, m.payload.clone()));
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(tree: &mut BroadcastTree<u32>, node: NodeId, cycles: Cycle) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        for c in 0..cycles {
+            tree.tick(c);
+            while let Some(m) = tree.recv(node) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn all_nodes_observe_the_same_total_order() {
+        let mut tree: BroadcastTree<u32> = BroadcastTree::new(4, 8, 2);
+        for (i, src) in [(10u32, 3u8), (20, 1), (30, 0), (40, 2)] {
+            tree.send(NodeId(src), i, 8, 0);
+        }
+        for c in 0..50 {
+            tree.tick(c);
+        }
+        let mut sequences = Vec::new();
+        for n in 0..4 {
+            let mut seq = Vec::new();
+            while let Some(m) = tree.recv(NodeId(n)) {
+                seq.push(m);
+            }
+            sequences.push(seq);
+        }
+        assert_eq!(sequences[0], vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+        for s in &sequences[1..] {
+            assert_eq!(s, &sequences[0]);
+        }
+    }
+
+    #[test]
+    fn sender_also_receives_its_own_request() {
+        let mut tree: BroadcastTree<u32> = BroadcastTree::new(2, 8, 1);
+        tree.send(NodeId(0), 7, 8, 0);
+        let got = drain(&mut tree, NodeId(0), 10);
+        assert_eq!(got, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn root_bandwidth_serializes() {
+        // 1 byte/cycle, 8-byte requests: second request starts 8 cycles
+        // after the first.
+        let mut tree: BroadcastTree<u32> = BroadcastTree::new(2, 1, 0);
+        tree.send(NodeId(0), 1, 8, 0);
+        tree.send(NodeId(1), 2, 8, 0);
+        let mut deliveries = Vec::new();
+        for c in 0..40 {
+            tree.tick(c);
+            while let Some((o, m)) = tree.recv(NodeId(0)) {
+                deliveries.push((c, o, m));
+            }
+        }
+        assert_eq!(deliveries.len(), 2);
+        assert!(
+            deliveries[1].0 >= deliveries[0].0 + 8,
+            "second delivery at {} vs first at {}",
+            deliveries[1].0,
+            deliveries[0].0
+        );
+    }
+
+    #[test]
+    fn orders_are_consecutive() {
+        let mut tree: BroadcastTree<u32> = BroadcastTree::new(1, 64, 0);
+        for i in 0..10 {
+            tree.send(NodeId(0), i, 8, 0);
+        }
+        let got = drain(&mut tree, NodeId(0), 20);
+        let orders: Vec<u64> = got.iter().map(|&(o, _)| o).collect();
+        assert_eq!(orders, (0..10).collect::<Vec<_>>());
+        assert_eq!(tree.total_bytes(), 80);
+        assert!(tree.is_quiescent());
+    }
+
+    #[test]
+    fn armed_drop_discards_one_request() {
+        let mut tree: BroadcastTree<u32> = BroadcastTree::new(2, 8, 0);
+        tree.arm_drop();
+        tree.send(NodeId(0), 1, 8, 0);
+        tree.send(NodeId(0), 2, 8, 0);
+        let got = drain(&mut tree, NodeId(1), 10);
+        assert_eq!(got, vec![(0, 2)]);
+        assert_eq!(tree.drops_applied(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests of the interconnect: exactly-once delivery on the torus
+//! and identical total order on the broadcast tree, under random traffic.
+
+use dvmc_interconnect::{BroadcastTree, Torus};
+use dvmc_types::NodeId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Every message sent on a fault-free torus is delivered exactly once
+    /// to exactly its destination, regardless of size or timing.
+    #[test]
+    fn torus_delivers_exactly_once(
+        nodes in 1usize..9,
+        sends in proptest::collection::vec((0u8..8, 0u8..8, 1u32..200, 0u64..500), 1..80),
+        bandwidth in 1u32..16,
+        latency in 0u32..8,
+    ) {
+        let mut net: Torus<usize> = Torus::new(nodes, bandwidth, latency);
+        let mut expected: HashMap<usize, usize> = HashMap::new(); // dst -> count
+        let mut sent = 0usize;
+        let mut sorted: Vec<_> = sends.clone();
+        sorted.sort_by_key(|s| s.3);
+        let mut cycle = 0u64;
+        for (src, dst, bytes, at) in sorted {
+            let (src, dst) = (src as usize % nodes, dst as usize % nodes);
+            while cycle < at {
+                net.tick(cycle);
+                cycle += 1;
+            }
+            net.send(NodeId(src as u8), NodeId(dst as u8), sent, bytes, cycle);
+            *expected.entry(dst).or_default() += 1;
+            sent += 1;
+        }
+        // Drain.
+        let mut received: HashMap<usize, usize> = HashMap::new();
+        for extra in 0..200_000u64 {
+            net.tick(cycle + extra);
+            for n in 0..nodes {
+                while net.recv(NodeId(n as u8)).is_some() {
+                    *received.entry(n).or_default() += 1;
+                }
+            }
+            if received.values().sum::<usize>() == sent {
+                break;
+            }
+        }
+        prop_assert_eq!(received, expected);
+        prop_assert!(net.is_quiescent());
+    }
+
+    /// All leaves of the broadcast tree observe the identical, gap-free
+    /// global order.
+    #[test]
+    fn tree_total_order_is_identical_everywhere(
+        nodes in 1usize..9,
+        sends in proptest::collection::vec((0u8..8, 1u32..32), 1..60),
+        bandwidth in 1u32..16,
+        latency in 0u32..8,
+    ) {
+        let mut tree: BroadcastTree<usize> = BroadcastTree::new(nodes, bandwidth, latency);
+        for (i, (src, bytes)) in sends.iter().enumerate() {
+            tree.send(NodeId(*src % nodes as u8), i, *bytes, 0);
+        }
+        let mut seqs: Vec<Vec<(u64, usize)>> = vec![Vec::new(); nodes];
+        for cycle in 0..500_000u64 {
+            tree.tick(cycle);
+            for (n, seq) in seqs.iter_mut().enumerate() {
+                while let Some(m) = tree.recv(NodeId(n as u8)) {
+                    seq.push(m);
+                }
+            }
+            if seqs.iter().all(|s| s.len() == sends.len()) {
+                break;
+            }
+        }
+        for s in &seqs {
+            prop_assert_eq!(s.len(), sends.len(), "all requests delivered");
+            prop_assert_eq!(s, &seqs[0], "identical order at every leaf");
+            for (k, &(order, _)) in s.iter().enumerate() {
+                prop_assert_eq!(order, k as u64, "orders are consecutive");
+            }
+        }
+        prop_assert!(tree.is_quiescent());
+    }
+}

@@ -1,0 +1,1040 @@
+//! The out-of-order core model with the DVMC verification stage.
+//!
+//! The pipeline (Figure 2): decode → execute (out-of-order loads with
+//! load-order speculation, Table 5 optimizations per model) → commit
+//! (in order; DVMC replay begins here, §4.1) → verify → retire (stores
+//! enter the write buffer, loads/membars *perform*).
+//!
+//! The per-processor DVMC checkers are embedded exactly where the paper
+//! places them: the Uniprocessor Ordering checker's VC is written at
+//! commit and consulted by the verification stage's replay; the Allowable
+//! Reordering checker receives commit and perform events; artificial
+//! membars are injected periodically for lost-operation detection (§4.2).
+//!
+//! Perform points (§4.1): stores perform when their write-buffer drain
+//! completes at the cache; loads perform at verification-pass (models with
+//! load ordering) or at execution (RMO); atomics perform at their cache
+//! access; membars perform at retirement after their constrained older
+//! stores drained.
+
+use crate::stream::{Fetch, Instr, InstrStream};
+use dvmc_coherence::{ProcReq, ProcResp};
+use dvmc_consistency::{MembarMask, Model, OpClass};
+use dvmc_core::violation::{UniprocViolation, Violation};
+use dvmc_core::{ReorderChecker, ReplayLookup, UniprocChecker, UniprocCheckerConfig};
+use dvmc_types::{BlockAddr, Cycle, SeqNum, WordAddr};
+use std::collections::{HashMap, VecDeque};
+
+/// Core configuration (Table 7 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct CoreConfig {
+    /// Consistency model the core runs.
+    pub model: Model,
+    /// Decode/commit width.
+    pub width: u32,
+    /// Reorder buffer capacity.
+    pub rob_size: usize,
+    /// Write buffer capacity (entries).
+    pub wb_size: usize,
+    /// Maximum outstanding demand loads.
+    pub max_loads: u32,
+    /// Maximum outstanding write-buffer drains (non-TSO models).
+    pub max_drains: u32,
+    /// Whether the Uniprocessor Ordering + Allowable Reordering checkers
+    /// (and the verification pipeline stage) are active.
+    pub dvmc: bool,
+    /// Verification-stage depth in cycles (added pipeline stage, §4.1).
+    pub verify_latency: u32,
+    /// Operations entering verification per cycle.
+    pub verify_width: u32,
+    /// Verification cache capacity in words (32–256 bytes, §6.3).
+    pub vc_words: usize,
+    /// Cycles between artificial membar injections (≈100k, §4.2).
+    pub membar_injection_period: u64,
+    /// Issue exclusive prefetches for decoded stores.
+    pub prefetch: bool,
+    /// Record every committed operation (sequence, class, value) for
+    /// litmus tests and trace-level debugging.
+    pub record_commits: bool,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            model: Model::Tso,
+            width: 4,
+            rob_size: 64,
+            wb_size: 32,
+            max_loads: 4,
+            max_drains: 4,
+            dvmc: true,
+            verify_latency: 2,
+            verify_width: 4,
+            vc_words: 32,
+            membar_injection_period: 100_000,
+            prefetch: true,
+            record_commits: false,
+        }
+    }
+}
+
+/// Core statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreStats {
+    /// Memory/barrier operations retired.
+    pub retired_ops: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Atomics retired.
+    pub atomics: u64,
+    /// Membars/stbars retired (program ones).
+    pub membars: u64,
+    /// Load-order mis-speculation squashes.
+    pub squashes: u64,
+    /// Artificial membars injected.
+    pub injected_membars: u64,
+    /// Replay mismatches forgiven because a remote write intervened
+    /// between the load's perform point and its replay.
+    pub forgiven_replays: u64,
+    /// Cycles retirement stalled on a full write buffer.
+    pub wb_full_stalls: u64,
+    /// Cycles commit stalled on a full verification cache.
+    pub vc_full_stalls: u64,
+    /// Demand-load L1 misses observed.
+    pub exec_l1_misses: u64,
+    /// Demand-load coherence misses observed.
+    pub exec_coherence_misses: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EState {
+    Waiting,
+    Issued,
+    Executed,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VState {
+    NotStarted,
+    ReplayWait,
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    seq: SeqNum,
+    class: OpClass,
+    addr: WordAddr,
+    store_value: u64,
+    state: EState,
+    committed: bool,
+    vstate: VState,
+    verify_done_at: Cycle,
+    value: u64,
+    gen: u64,
+    performed: bool,
+    remote_write_observed: bool,
+    /// SC mode: the store's perform-at-retire write has been issued.
+    retire_issued: bool,
+}
+
+#[derive(Clone, Debug)]
+struct WbEntry {
+    seqs: Vec<SeqNum>,
+    addr: WordAddr,
+    value: u64,
+    model: Model,
+    issued: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Purpose {
+    Exec,
+    AtomicExec,
+    Replay,
+    Drain,
+    /// SC store performing at its commit stall.
+    ScStore,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    purpose: Purpose,
+    seq: SeqNum,
+    gen: u64,
+}
+
+/// The out-of-order core model for one hardware thread.
+pub struct Core {
+    cfg: CoreConfig,
+    stream: Box<dyn InstrStream>,
+    rob: VecDeque<RobEntry>,
+    wb: VecDeque<WbEntry>,
+    reorder: Option<ReorderChecker>,
+    uniproc: Option<UniprocChecker>,
+    next_seq: SeqNum,
+    next_req: u64,
+    pending: HashMap<u64, Pending>,
+    out: Vec<ProcReq>,
+    decode_delay: u32,
+    awaiting: Option<SeqNum>,
+    last_mem_seq: Option<SeqNum>,
+    recent_values: VecDeque<(SeqNum, u64)>,
+    gen_counter: u64,
+    outstanding_loads: u32,
+    outstanding_drains: u32,
+    last_injection: Cycle,
+    violations: Vec<Violation>,
+    stats: CoreStats,
+    commit_log: Vec<(SeqNum, OpClass, u64)>,
+    lsq_fault_armed: bool,
+    stream_done: bool,
+    now: Cycle,
+}
+
+impl Core {
+    /// Creates a core running `stream` under `cfg`.
+    pub fn new(cfg: CoreConfig, stream: Box<dyn InstrStream>) -> Self {
+        let uniproc_cfg = UniprocCheckerConfig {
+            // The RMO optimization of §4.1: cache load values in the VC.
+            cache_load_values: cfg.model == Model::Rmo,
+            load_value_capacity: cfg.vc_words,
+        };
+        Core {
+            stream,
+            rob: VecDeque::new(),
+            wb: VecDeque::new(),
+            reorder: cfg.dvmc.then(ReorderChecker::new),
+            uniproc: cfg.dvmc.then(|| UniprocChecker::new(uniproc_cfg)),
+            next_seq: SeqNum(0),
+            next_req: 0,
+            pending: HashMap::new(),
+            out: Vec::new(),
+            decode_delay: 0,
+            awaiting: None,
+            last_mem_seq: None,
+            recent_values: VecDeque::new(),
+            gen_counter: 0,
+            outstanding_loads: 0,
+            outstanding_drains: 0,
+            last_injection: 0,
+            violations: Vec::new(),
+            stats: CoreStats::default(),
+            commit_log: Vec::new(),
+            lsq_fault_armed: false,
+            stream_done: false,
+            now: 0,
+            cfg,
+        }
+    }
+
+    /// Takes the committed-operation log (requires
+    /// [`CoreConfig::record_commits`]).
+    pub fn take_commit_log(&mut self) -> Vec<(SeqNum, OpClass, u64)> {
+        std::mem::take(&mut self.commit_log)
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Replay statistics from the Uniprocessor Ordering checker.
+    pub fn replay_stats(&self) -> dvmc_core::UniprocStats {
+        self.uniproc.as_ref().map(|u| u.stats()).unwrap_or_default()
+    }
+
+    /// Transactions completed by the program.
+    pub fn transactions(&self) -> u64 {
+        self.stream.transactions()
+    }
+
+    /// Drains detected violations.
+    pub fn drain_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Whether the program finished and the machine drained.
+    pub fn is_done(&self) -> bool {
+        self.stream_done && self.rob.is_empty() && self.wb.is_empty() && self.pending.is_empty()
+    }
+
+    /// One-line internal state dump for debugging stuck systems.
+    pub fn dump(&self) -> String {
+        format!(
+            "rob={} front={:?} wb={:?} pending={} awaiting={:?} done={} decode_delay={}",
+            self.rob.len(),
+            self.rob.front().map(|e| (e.seq, e.class, e.addr, e.state, e.committed)),
+            self.wb.iter().map(|w| (w.addr, w.issued)).collect::<Vec<_>>(),
+            self.pending.len(),
+            self.awaiting,
+            self.stream_done,
+            self.decode_delay,
+        )
+    }
+
+    /// Memory operations retired (progress metric for watchdogs).
+    pub fn retired_ops(&self) -> u64 {
+        self.stats.retired_ops
+    }
+
+    /// Completes a cache request previously emitted by [`tick`](Self::tick).
+    pub fn deliver(&mut self, resp: ProcResp) {
+        let Some(p) = self.pending.remove(&resp.id) else {
+            return;
+        };
+        match p.purpose {
+            Purpose::Exec => {
+                self.outstanding_loads = self.outstanding_loads.saturating_sub(1);
+                let model = self.cfg.model;
+                let Some(e) = self.rob.iter_mut().find(|e| e.seq == p.seq) else {
+                    return;
+                };
+                if e.gen != p.gen {
+                    return; // squashed; stale response
+                }
+                e.state = EState::Executed;
+                e.value = resp.value;
+                if resp.l1_miss {
+                    self.stats.exec_l1_misses += 1;
+                }
+                if resp.coherence_miss {
+                    self.stats.exec_coherence_misses += 1;
+                }
+                if model == Model::Rmo {
+                    self.perform_load_now(p.seq);
+                }
+            }
+            Purpose::AtomicExec => {
+                let seq = p.seq;
+                if let Some(e) = self.rob.iter_mut().find(|e| e.seq == seq) {
+                    e.state = EState::Executed;
+                    e.value = resp.value;
+                    e.performed = true;
+                }
+                if let Some(r) = self.reorder.as_mut() {
+                    if let Err(v) = r.op_performed(seq, OpClass::Atomic, self.cfg.model) {
+                        self.violations.push(v);
+                    }
+                }
+            }
+            Purpose::Replay => {
+                let Some(e) = self.rob.iter_mut().find(|e| e.seq == p.seq) else {
+                    return;
+                };
+                e.vstate = VState::Done;
+                e.verify_done_at = self.now;
+                let forgiven = e.remote_write_observed;
+                let (addr, original) = (e.addr, e.value);
+                if let Some(u) = self.uniproc.as_mut() {
+                    match u.replay_load_from_cache(addr, original, resp.value) {
+                        Ok(()) => {}
+                        Err(Violation::Uniproc(UniprocViolation::LoadMismatch { .. }))
+                            if forgiven =>
+                        {
+                            // A remote store hit this block after the load
+                            // performed; the replayed value is legitimately
+                            // newer than the original (§4.1 speculation
+                            // window).
+                            self.stats.forgiven_replays += 1;
+                        }
+                        Err(v) => self.violations.push(v),
+                    }
+                }
+            }
+            Purpose::Drain => {
+                self.outstanding_drains = self.outstanding_drains.saturating_sub(1);
+                let idx = self
+                    .wb
+                    .iter()
+                    .position(|w| w.issued && w.seqs.contains(&p.seq));
+                let Some(idx) = idx else {
+                    return;
+                };
+                let entry = self.wb.remove(idx).expect("index valid");
+                self.store_performed(&entry);
+            }
+            Purpose::ScStore => {
+                // SC store performing at its commit stall. The reorder
+                // checker sees the perform now; the VC settles when the
+                // (stalled) commit executes its store_committed +
+                // store_performed pair.
+                if let Some(e) = self.rob.iter_mut().find(|e| e.seq == p.seq) {
+                    e.performed = true;
+                }
+                if let Some(r) = self.reorder.as_mut() {
+                    if let Err(v) = r.op_performed(p.seq, OpClass::Store, self.cfg.model) {
+                        self.violations.push(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reports blocks invalidated by remote writers: squashes speculative
+    /// loads and marks committed-but-unreplayed loads (§4.1).
+    pub fn note_invalidations(&mut self, blocks: &[BlockAddr]) {
+        if blocks.is_empty() {
+            return;
+        }
+        let speculative_loads = self.cfg.model.loads_ordered();
+        // Mark committed (or RMO-performed, possibly still in-flight)
+        // loads whose replay is pending.
+        for e in self.rob.iter_mut() {
+            if e.class == OpClass::Load
+                && matches!(e.state, EState::Executed | EState::Issued)
+                && (e.committed || !speculative_loads)
+                && e.vstate != VState::Done
+                && blocks.contains(&e.addr.block())
+            {
+                e.remote_write_observed = true;
+            }
+        }
+        if !speculative_loads {
+            return;
+        }
+        // Squash from the oldest matching uncommitted load whose value is
+        // bound or in flight (an issued load's value returns from a
+        // pre-invalidation cache read and is equally stale).
+        let first = self.rob.iter().position(|e| {
+            e.class == OpClass::Load
+                && !e.committed
+                && matches!(e.state, EState::Executed | EState::Issued)
+                && blocks.contains(&e.addr.block())
+        });
+        if let Some(idx) = first {
+            self.squash_from(idx);
+        }
+    }
+
+    fn squash_from(&mut self, idx: usize) {
+        self.stats.squashes += 1;
+        self.gen_counter += 1;
+        let gen = self.gen_counter;
+        for e in self.rob.iter_mut().skip(idx) {
+            debug_assert!(!e.committed, "cannot squash committed operations");
+            e.gen = gen;
+            e.remote_write_observed = false;
+            match e.class {
+                OpClass::Load => {
+                    if e.state == EState::Issued {
+                        self.outstanding_loads = self.outstanding_loads.saturating_sub(1);
+                    }
+                    e.state = EState::Waiting;
+                    e.value = 0;
+                    e.performed = false;
+                }
+                OpClass::Atomic => {
+                    // Atomics only issue at the ROB head and are never
+                    // younger than a squashing load in flight.
+                    e.state = if e.state == EState::Issued {
+                        e.state
+                    } else {
+                        EState::Waiting
+                    };
+                }
+                _ => {
+                    e.state = EState::Executed;
+                }
+            }
+        }
+    }
+
+    /// Advances one cycle; returns the cache requests to submit.
+    pub fn tick(&mut self, now: Cycle) -> Vec<ProcReq> {
+        self.now = now;
+        self.retire();
+        self.drain_wb();
+        self.commit();
+        self.execute();
+        self.decode();
+        self.inject_membar();
+        std::mem::take(&mut self.out)
+    }
+
+    // ----- decode --------------------------------------------------------
+
+    fn decode(&mut self) {
+        if self.decode_delay > 0 {
+            self.decode_delay -= 1;
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            if self.stream_done || self.awaiting.is_some() || self.rob.len() >= self.cfg.rob_size {
+                break;
+            }
+            match self.stream.next() {
+                Fetch::Instr(Instr::Delay(d)) => {
+                    self.decode_delay = d;
+                    break;
+                }
+                Fetch::Instr(Instr::Mem {
+                    class,
+                    addr,
+                    store_value,
+                }) => self.push_entry(class, addr, store_value),
+                Fetch::AwaitLast => {
+                    // Nothing to await if no memory op was ever emitted.
+                    if let Some(seq) = self.last_mem_seq {
+                        if let Some(&(_, v)) =
+                            self.recent_values.iter().find(|&&(s, _)| s == seq)
+                        {
+                            self.stream.deliver(seq, v);
+                        } else {
+                            self.awaiting = Some(seq);
+                            break;
+                        }
+                    }
+                }
+                Fetch::Done => {
+                    self.stream_done = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn push_entry(&mut self, class: OpClass, addr: WordAddr, store_value: u64) {
+        let seq = self.next_seq;
+        self.next_seq = seq.next();
+        self.last_mem_seq = Some(seq);
+        let state = match class {
+            OpClass::Load | OpClass::Atomic => EState::Waiting,
+            // Stores and barriers are "executed" as soon as decoded: their
+            // effects happen at or after commit.
+            OpClass::Store | OpClass::Membar(_) | OpClass::Stbar => EState::Executed,
+        };
+        if self.cfg.prefetch && class.writes() {
+            self.out.push(ProcReq::Prefetch {
+                addr,
+                exclusive: true,
+            });
+        }
+        self.rob.push_back(RobEntry {
+            seq,
+            class,
+            addr,
+            store_value,
+            state,
+            committed: false,
+            vstate: VState::NotStarted,
+            verify_done_at: 0,
+            value: 0,
+            gen: self.gen_counter,
+            performed: false,
+            remote_write_observed: false,
+            retire_issued: false,
+        });
+    }
+
+    fn inject_membar(&mut self) {
+        // Inject while any work remains (including a drained stream with
+        // stores still in flight — exactly when a lost store needs
+        // flushing out, §4.2).
+        if !self.cfg.dvmc
+            || self.cfg.membar_injection_period == 0
+            || self.now - self.last_injection < self.cfg.membar_injection_period
+            || self.rob.len() >= self.cfg.rob_size
+            || self.is_done()
+        {
+            return;
+        }
+        self.last_injection = self.now;
+        self.stats.injected_membars += 1;
+        self.push_entry(OpClass::Membar(MembarMask::ALL), WordAddr(0), 0);
+    }
+
+    // ----- execute -------------------------------------------------------
+
+    fn execute(&mut self) {
+        // Atomic at the ROB head: issue when the machine ahead of it is
+        // drained (its store half must not bypass buffered stores under
+        // SC/TSO).
+        let issue_atomic = match self.rob.front() {
+            Some(e) if e.class == OpClass::Atomic && e.state == EState::Waiting => {
+                match self.cfg.model {
+                    // The atomic's store half must not bypass buffered
+                    // stores under store-store-ordered models...
+                    Model::Sc | Model::Tso | Model::Pc => self.wb.is_empty(),
+                    // ...and must never bypass a buffered store to the
+                    // same word (uniprocessor ordering).
+                    Model::Pso | Model::Rmo => {
+                        let a = e.addr;
+                        !self.wb.iter().any(|w| w.addr == a)
+                    }
+                }
+            }
+            _ => false,
+        };
+        if issue_atomic {
+            let (seq, addr, value, gen) = {
+                let e = self.rob.front_mut().expect("checked");
+                e.state = EState::Issued;
+                (e.seq, e.addr, e.store_value, e.gen)
+            };
+            let id = self.alloc_req(Purpose::AtomicExec, seq, gen);
+            self.out.push(ProcReq::Atomic { id, addr, value });
+        }
+
+        // Loads issue out of order.
+        let mut to_issue: Vec<usize> = Vec::new();
+        let mut membar_block = false;
+        for (i, e) in self.rob.iter().enumerate() {
+            if e.class.is_barrier() && self.cfg.model == Model::Rmo {
+                // Under RMO loads perform at execution, so a membar with
+                // #LL or #SL holds younger loads at issue (Table 4).
+                let holds_loads = e
+                    .class
+                    .membar_mask()
+                    .intersects(MembarMask::LL | MembarMask::SL);
+                if holds_loads && !e.performed {
+                    membar_block = true;
+                }
+            }
+            if membar_block {
+                continue;
+            }
+            if e.class == OpClass::Load && e.state == EState::Waiting {
+                to_issue.push(i);
+            }
+        }
+        for i in to_issue {
+            if self.outstanding_loads >= self.cfg.max_loads {
+                break;
+            }
+            self.issue_load(i);
+        }
+    }
+
+    fn issue_load(&mut self, idx: usize) {
+        let (seq, addr, gen) = {
+            let e = &self.rob[idx];
+            (e.seq, e.addr, e.gen)
+        };
+        // LSQ forwarding: youngest older store/atomic to the same word.
+        let forwarded = self.rob.iter().take(idx).rev().find_map(|e| {
+            (e.class.writes() && e.addr == addr).then_some(e.store_value)
+        });
+        // Write-buffer forwarding: youngest entry for the word.
+        let forwarded = forwarded.or_else(|| {
+            self.wb
+                .iter()
+                .rev()
+                .find(|w| w.addr == addr)
+                .map(|w| w.value)
+        });
+        if let Some(mut value) = forwarded {
+            if self.lsq_fault_armed {
+                // Injected fault: incorrect LSQ forwarding (§6.1).
+                self.lsq_fault_armed = false;
+                value ^= 1;
+            }
+            let model = self.cfg.model;
+            let e = &mut self.rob[idx];
+            e.state = EState::Executed;
+            e.value = value;
+            if model == Model::Rmo {
+                self.perform_load_now(seq);
+            }
+            return;
+        }
+        let id = self.alloc_req(Purpose::Exec, seq, gen);
+        self.outstanding_loads += 1;
+        self.rob[idx].state = EState::Issued;
+        self.out.push(ProcReq::Read { id, addr });
+    }
+
+    /// RMO: a load performs at execution (§4.1).
+    fn perform_load_now(&mut self, seq: SeqNum) {
+        let Some(e) = self.rob.iter_mut().find(|e| e.seq == seq) else {
+            return;
+        };
+        e.performed = true;
+        let (addr, value) = (e.addr, e.value);
+        if let Some(r) = self.reorder.as_mut() {
+            if let Err(v) = r.op_performed(seq, OpClass::Load, self.cfg.model) {
+                self.violations.push(v);
+            }
+        }
+        if let Some(u) = self.uniproc.as_mut() {
+            u.load_executed(addr, value);
+        }
+    }
+
+    // ----- commit --------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.width {
+            let idx = self.rob.iter().position(|e| !e.committed);
+            let Some(idx) = idx else { break };
+            let (class, state) = (self.rob[idx].class, self.rob[idx].state);
+            if state != EState::Executed {
+                break;
+            }
+            // VC capacity: commit stalls rather than overflowing (§4.1).
+            if class == OpClass::Store {
+                if let Some(u) = self.uniproc.as_ref() {
+                    if u.store_entries() >= self.cfg.vc_words {
+                        self.stats.vc_full_stalls += 1;
+                        break;
+                    }
+                }
+            }
+            // SC: every operation performs at commit, so commit order is
+            // the global memory order. A store therefore stalls commit
+            // until its cache write completes (the classic SC store cost
+            // that the TSO write buffer removes, §6.2.1).
+            if self.cfg.model == Model::Sc && class == OpClass::Store {
+                if !self.rob[idx].retire_issued {
+                    let (seq, addr, value, gen) =
+                        (self.rob[idx].seq, self.rob[idx].addr, self.rob[idx].store_value, self.rob[idx].gen);
+                    let id = self.alloc_req(Purpose::ScStore, seq, gen);
+                    self.out.push(ProcReq::Write { id, addr, value });
+                    self.rob[idx].retire_issued = true;
+                }
+                if !self.rob[idx].performed {
+                    break;
+                }
+            }
+            // A membar performs at commit, after every older constrained
+            // store has performed; it stalls commit (fencing younger
+            // operations' perform points) until then. The gate consults
+            // the *hardware* structures (ROB store queue + write buffer):
+            // if a faulty write buffer silently loses a store, the gate
+            // opens and the Allowable Reordering checker's independent
+            // counters catch the lost operation (§4.2).
+            if class.is_barrier() {
+                let seq = self.rob[idx].seq;
+                let required = self.cfg.model.table().requires(OpClass::Store, class);
+                if required && self.cfg.model != Model::Sc {
+                    let store_awaiting_wb = self
+                        .rob
+                        .iter()
+                        .take(idx)
+                        .any(|e| e.class == OpClass::Store);
+                    let store_in_wb = self.wb.iter().any(|w| w.seqs.iter().any(|&s| s < seq));
+                    if store_awaiting_wb || store_in_wb {
+                        break;
+                    }
+                }
+            }
+            let (seq, addr, store_value, value, gen) = {
+                let e = &mut self.rob[idx];
+                e.committed = true;
+                e.verify_done_at = self.now + self.cfg.verify_latency as u64;
+                e.vstate = VState::Done;
+                (e.seq, e.addr, e.store_value, e.value, e.gen)
+            };
+            if let Some(r) = self.reorder.as_mut() {
+                r.op_committed(seq, class, self.cfg.model);
+            }
+            if class == OpClass::Store {
+                if let Some(u) = self.uniproc.as_mut() {
+                    u.store_committed(addr, store_value);
+                }
+            }
+            if class == OpClass::Atomic {
+                // The atomic's store half already performed at the cache
+                // (it executes at the ROB head); record it in the VC so
+                // younger replays see the new value, and settle it
+                // immediately.
+                if let Some(u) = self.uniproc.as_mut() {
+                    u.store_committed(addr, store_value);
+                    if let Err(v) = u.store_performed(addr, store_value) {
+                        self.violations.push(v);
+                    }
+                }
+            }
+            // Perform points at commit: loads (except RMO, which performs
+            // at execution) and membars; SC stores performed during the
+            // commit stall above and settle their VC entry here. Buffered
+            // stores start their committed-but-unperformed life.
+            match class {
+                OpClass::Store => {
+                    if self.cfg.model == Model::Sc {
+                        if let Some(u) = self.uniproc.as_mut() {
+                            if let Err(v) = u.store_performed(addr, store_value) {
+                                self.violations.push(v);
+                            }
+                        }
+                    }
+                }
+                OpClass::Load | OpClass::Membar(_) | OpClass::Stbar => {
+                    if !self.rob[idx].performed {
+                        self.rob[idx].performed = true;
+                        if let Some(r) = self.reorder.as_mut() {
+                            if let Err(v) = r.op_performed(seq, class, self.cfg.model) {
+                                self.violations.push(v);
+                            }
+                        }
+                    }
+                }
+                OpClass::Atomic => {}
+            }
+            // Replay happens *at* commit (§4.1: "results of sequential
+            // execution can be obtained by replaying all memory operations
+            // when they commit") — interleaved in program order with the
+            // VC writes of committing stores.
+            if class == OpClass::Load && self.cfg.dvmc {
+                match self
+                    .uniproc
+                    .as_mut()
+                    .expect("dvmc on")
+                    .replay_load(addr, value)
+                {
+                    Ok(ReplayLookup::VcHit) => {}
+                    Ok(ReplayLookup::NeedCache) => {
+                        // Replay reads the highest cache level, bypassing
+                        // the write buffer (§4.1).
+                        let id = self.alloc_req(Purpose::Replay, seq, gen);
+                        self.rob[idx].vstate = VState::ReplayWait;
+                        self.out.push(ProcReq::ReplayRead { id, addr });
+                    }
+                    Err(v) => {
+                        if self.rob[idx].remote_write_observed {
+                            self.stats.forgiven_replays += 1;
+                        } else {
+                            self.violations.push(v);
+                        }
+                    }
+                }
+            }
+            // Record the committed value for control dependencies.
+            let committed_value = match class {
+                OpClass::Load | OpClass::Atomic => value,
+                _ => store_value,
+            };
+            self.recent_values.push_back((seq, committed_value));
+            if self.recent_values.len() > 2 * self.cfg.rob_size {
+                self.recent_values.pop_front();
+            }
+            if self.cfg.record_commits {
+                self.commit_log.push((seq, class, committed_value));
+            }
+            if self.awaiting == Some(seq) {
+                self.awaiting = None;
+                self.stream.deliver(seq, committed_value);
+            }
+        }
+    }
+
+    // ----- retire --------------------------------------------------------
+
+    fn retire(&mut self) {
+        for _ in 0..self.cfg.width {
+            let (seq, class, addr, store_value, performed) = match self.rob.front() {
+                Some(e)
+                    if e.committed
+                        && e.vstate == VState::Done
+                        && e.verify_done_at <= self.now =>
+                {
+                    (e.seq, e.class, e.addr, e.store_value, e.performed)
+                }
+                _ => break,
+            };
+            let _ = performed;
+            match class {
+                OpClass::Load => {
+                    self.stats.loads += 1;
+                }
+                OpClass::Store => {
+                    if self.cfg.model == Model::Sc {
+                        // Already performed during its commit stall.
+                    } else {
+                        if self.wb.len() >= self.cfg.wb_size {
+                            self.stats.wb_full_stalls += 1;
+                            break;
+                        }
+                        self.enqueue_wb(seq, addr, store_value);
+                    }
+                    self.stats.stores += 1;
+                }
+                OpClass::Atomic => {
+                    // Performed at execution; uniprocessor-ordering effects
+                    // of the store half are covered by LSQ forwarding and
+                    // the coherence checker at the cache (see DESIGN.md).
+                    self.stats.atomics += 1;
+                }
+                OpClass::Membar(_) | OpClass::Stbar => {
+                    // Performed at commit, after its fence condition held.
+                    self.stats.membars += 1;
+                }
+            }
+            self.stats.retired_ops += 1;
+            self.rob.pop_front();
+        }
+    }
+
+    // ----- write buffer ----------------------------------------------------
+
+    fn enqueue_wb(&mut self, seq: SeqNum, addr: WordAddr, value: u64) {
+        // PSO/RMO: merge into an un-issued entry for the same word
+        // (Table 5's optimized write buffer, reducing coherence traffic).
+        if self.cfg.model.store_store_relaxed() {
+            if let Some(w) = self
+                .wb
+                .iter_mut()
+                .find(|w| !w.issued && w.addr == addr)
+            {
+                w.seqs.push(seq);
+                w.value = value;
+                return;
+            }
+        }
+        self.wb.push_back(WbEntry {
+            seqs: vec![seq],
+            addr,
+            value,
+            model: self.cfg.model,
+            issued: false,
+        });
+    }
+
+    fn drain_wb(&mut self) {
+        let in_order = !self.cfg.model.store_store_relaxed();
+        if in_order {
+            // TSO (and PC): head only, one outstanding drain.
+            if self.outstanding_drains > 0 {
+                return;
+            }
+            let Some(w) = self.wb.front_mut() else { return };
+            if w.issued {
+                return;
+            }
+            w.issued = true;
+            let (seq, addr, value) = (w.seqs[0], w.addr, w.value);
+            let id = self.alloc_req(Purpose::Drain, seq, 0);
+            self.outstanding_drains += 1;
+            self.out.push(ProcReq::Write { id, addr, value });
+        } else {
+            // PSO/RMO: multiple outstanding drains, oldest-first issue,
+            // same-word entries drain in order (uniprocessor ordering).
+            for i in 0..self.wb.len() {
+                if self.outstanding_drains >= self.cfg.max_drains {
+                    break;
+                }
+                if self.wb[i].issued {
+                    continue;
+                }
+                let addr = self.wb[i].addr;
+                let older_same_word = self.wb.iter().take(i).any(|w| w.addr == addr);
+                if older_same_word {
+                    continue;
+                }
+                self.wb[i].issued = true;
+                let (seq, value) = (self.wb[i].seqs[0], self.wb[i].value);
+                let id = self.alloc_req(Purpose::Drain, seq, 0);
+                self.outstanding_drains += 1;
+                self.out.push(ProcReq::Write { id, addr, value });
+            }
+        }
+    }
+
+    fn store_performed(&mut self, entry: &WbEntry) {
+        for &seq in &entry.seqs {
+            if let Some(u) = self.uniproc.as_mut() {
+                if let Err(v) = u.store_performed(entry.addr, entry.value) {
+                    self.violations.push(v);
+                }
+            }
+            if let Some(r) = self.reorder.as_mut() {
+                if let Err(v) = r.op_performed(seq, OpClass::Store, entry.model) {
+                    self.violations.push(v);
+                }
+            }
+        }
+    }
+
+    fn alloc_req(&mut self, purpose: Purpose, seq: SeqNum, gen: u64) -> u64 {
+        let id = self.next_req;
+        self.next_req += 1;
+        self.pending.insert(id, Pending { purpose, seq, gen });
+        id
+    }
+
+    // ----- fault-injection hooks (§6.1) ------------------------------------
+
+    /// Fault: the write buffer silently loses an un-issued store. Returns
+    /// whether an entry was available to drop.
+    pub fn inject_wb_drop(&mut self) -> bool {
+        match self.wb.iter().position(|w| !w.issued) {
+            Some(i) => {
+                self.wb.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fault: swap the drain order of the first two un-issued write-buffer
+    /// entries (a Store→Store reordering under in-order models). Returns
+    /// whether two entries were available.
+    pub fn inject_wb_reorder(&mut self) -> bool {
+        let idx: Vec<usize> = self
+            .wb
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.issued)
+            .map(|(i, _)| i)
+            .take(2)
+            .collect();
+        if idx.len() < 2 {
+            return false;
+        }
+        self.wb.swap(idx[0], idx[1]);
+        true
+    }
+
+    /// Fault: flip a bit of an un-issued write-buffer entry's data.
+    pub fn inject_wb_corrupt(&mut self, bit: u32) -> bool {
+        match self.wb.iter_mut().find(|w| !w.issued) {
+            Some(w) => {
+                w.value ^= 1u64 << (bit % 64);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fault: flip a bit of an un-issued write-buffer entry's address —
+    /// the store drains to the wrong word.
+    pub fn inject_wb_addr_flip(&mut self, bit: u32) -> bool {
+        match self.wb.iter_mut().find(|w| !w.issued) {
+            Some(w) => {
+                w.addr = WordAddr(w.addr.0 ^ (1u64 << (bit % 8)));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fault: arm the LSQ so the next store-to-load forwarding supplies a
+    /// corrupted value.
+    pub fn arm_lsq_wrong_forward(&mut self) {
+        self.lsq_fault_armed = true;
+    }
+
+    /// Whether a previously armed LSQ fault is still pending (no
+    /// forwarding happened yet).
+    pub fn lsq_fault_pending(&self) -> bool {
+        self.lsq_fault_armed
+    }
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("model", &self.cfg.model)
+            .field("rob", &self.rob.len())
+            .field("wb", &self.wb.len())
+            .field("retired", &self.stats.retired_ops)
+            .finish_non_exhaustive()
+    }
+}

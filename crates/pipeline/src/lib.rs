@@ -1,0 +1,20 @@
+//! # The out-of-order core model
+//!
+//! A structural model of the paper's processor (Table 7, Figure 2): a
+//! reorder buffer with in-order decode/commit/retire and out-of-order load
+//! execution; LSQ store-to-load forwarding; a write buffer (absent for SC,
+//! in-order for TSO, out-of-order with write merging for PSO/RMO —
+//! Table 5); load-order speculation with invalidation-driven squashes; and
+//! the DVMC **verification stage** added before retirement, hosting the
+//! Uniprocessor Ordering checker's replay and the Allowable Reordering
+//! checker's counters (§4.1–4.2).
+//!
+//! Programs are supplied by an [`InstrStream`]; the `dvmc-workloads`
+//! crate implements the commercial-workload stand-ins, and
+//! [`ScriptedStream`] supports unit and litmus tests.
+
+pub mod core;
+pub mod stream;
+
+pub use crate::core::{Core, CoreConfig, CoreStats};
+pub use stream::{Fetch, Instr, InstrStream, ScriptedStream};

@@ -1,0 +1,338 @@
+//! System configuration and builder.
+
+use dvmc_coherence::{ClusterConfig, Protocol};
+use dvmc_consistency::Model;
+use dvmc_faults::FaultPlan;
+use dvmc_pipeline::CoreConfig;
+use dvmc_workloads::spec::{WorkloadKind, WorkloadParams};
+
+/// Which protection mechanisms are active — the configurations of
+/// Figure 5's component breakdown.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Protection {
+    /// SafetyNet backward error recovery.
+    pub ber: bool,
+    /// Cache Coherence verification (DVCC: CET/MET/Inform-Epochs).
+    pub coherence: bool,
+    /// Uniprocessor Ordering + Allowable Reordering verification (DVUO:
+    /// the verification pipeline stage and its checkers).
+    pub core: bool,
+}
+
+impl Protection {
+    /// Unprotected baseline ("Base").
+    pub const BASE: Protection = Protection {
+        ber: false,
+        coherence: false,
+        core: false,
+    };
+    /// BER only ("SN").
+    pub const SN: Protection = Protection {
+        ber: true,
+        coherence: false,
+        core: false,
+    };
+    /// BER + coherence verification ("SN+DVCC").
+    pub const SN_DVCC: Protection = Protection {
+        ber: true,
+        coherence: true,
+        core: false,
+    };
+    /// BER + uniprocessor-ordering verification ("SN+DVUO").
+    pub const SN_DVUO: Protection = Protection {
+        ber: true,
+        coherence: false,
+        core: true,
+    };
+    /// Full DVMC with BER ("DVMC").
+    pub const FULL: Protection = Protection {
+        ber: true,
+        coherence: true,
+        core: true,
+    };
+
+    /// Display label matching Figure 5.
+    pub fn label(&self) -> &'static str {
+        match (self.ber, self.coherence, self.core) {
+            (false, false, false) => "Base",
+            (true, false, false) => "SN",
+            (true, true, false) => "SN+DVCC",
+            (true, false, true) => "SN+DVUO",
+            (true, true, true) => "DVMC",
+            _ => "custom",
+        }
+    }
+}
+
+/// Full-system configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of nodes (processors).
+    pub nodes: usize,
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// Consistency model.
+    pub model: Model,
+    /// Active protection mechanisms.
+    pub protection: Protection,
+    /// Torus link bandwidth in bytes/cycle (Figure 8 sweeps this).
+    pub link_bandwidth: u32,
+    /// Workload selection.
+    pub workload: WorkloadParams,
+    /// Optional fault to inject (§6.1).
+    pub fault: Option<FaultPlan>,
+    /// Declare a hang if no processor retires for this many cycles.
+    pub watchdog_cycles: u64,
+    /// Hard cycle limit.
+    pub max_cycles: u64,
+    /// Verification cache capacity in words (§6.3: 32–256 bytes).
+    pub vc_words: usize,
+    /// Cycles between artificial membar injections (§4.2).
+    pub membar_injection_period: u64,
+    /// Epoch-sorter priority-queue capacity (Table 6: 256).
+    pub sorter_capacity: usize,
+}
+
+impl SystemConfig {
+    /// The cluster configuration implied by this system configuration.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let mut c = ClusterConfig::paper_default(self.nodes, self.protocol);
+        c.link_bandwidth = self.link_bandwidth;
+        c.node.verify = self.protection.coherence;
+        c.home.verify = self.protection.coherence;
+        c.home.sorter_capacity = self.sorter_capacity;
+        c
+    }
+
+    /// The core configuration implied by this system configuration.
+    pub fn core_config(&self) -> CoreConfig {
+        CoreConfig {
+            model: self.model,
+            dvmc: self.protection.core,
+            vc_words: self.vc_words,
+            membar_injection_period: self.membar_injection_period,
+            ..CoreConfig::default()
+        }
+    }
+}
+
+/// Builder for a [`crate::System`].
+///
+/// # Examples
+///
+/// ```rust
+/// use dvmc_sim::{Protocol, SystemBuilder};
+/// use dvmc_consistency::Model;
+/// use dvmc_workloads::spec::WorkloadKind;
+///
+/// let mut system = SystemBuilder::new()
+///     .nodes(2)
+///     .protocol(Protocol::Directory)
+///     .model(Model::Tso)
+///     .dvmc(true)
+///     .workload(WorkloadKind::Jbb, 4)
+///     .seed(1)
+///     .build();
+/// let report = system.run_to_completion(2_000_000);
+/// assert!(report.completed);
+/// assert!(report.violations.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    nodes: usize,
+    protocol: Protocol,
+    model: Model,
+    protection: Protection,
+    link_bandwidth: u32,
+    kind: WorkloadKind,
+    transactions_per_thread: u64,
+    seed: u64,
+    perturbation: u64,
+    fault: Option<FaultPlan>,
+    watchdog_cycles: u64,
+    max_cycles: u64,
+    vc_words: usize,
+    membar_injection_period: u64,
+    sorter_capacity: usize,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder {
+            nodes: 8,
+            protocol: Protocol::Directory,
+            model: Model::Tso,
+            protection: Protection::FULL,
+            link_bandwidth: 2,
+            kind: WorkloadKind::Oltp,
+            transactions_per_thread: 32,
+            seed: 1,
+            perturbation: 1,
+            fault: None,
+            watchdog_cycles: 200_000,
+            max_cycles: 50_000_000,
+            vc_words: 32,
+            membar_injection_period: 100_000,
+            sorter_capacity: 256,
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// Starts from the paper's 8-node directory TSO configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the node count (Figure 9 sweeps 1–8).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Sets the coherence protocol.
+    pub fn protocol(mut self, p: Protocol) -> Self {
+        self.protocol = p;
+        self
+    }
+
+    /// Sets the consistency model.
+    pub fn model(mut self, m: Model) -> Self {
+        self.model = m;
+        self
+    }
+
+    /// Enables/disables all of DVMC + BER at once (common case).
+    pub fn dvmc(mut self, on: bool) -> Self {
+        self.protection = if on {
+            Protection::FULL
+        } else {
+            Protection::BASE
+        };
+        self
+    }
+
+    /// Fine-grained protection selection (Figure 5 components).
+    pub fn protection(mut self, p: Protection) -> Self {
+        self.protection = p;
+        self
+    }
+
+    /// Sets the torus link bandwidth in bytes/cycle (Figure 8).
+    pub fn link_bandwidth(mut self, b: u32) -> Self {
+        self.link_bandwidth = b;
+        self
+    }
+
+    /// Selects the workload and per-thread transaction count.
+    pub fn workload(mut self, kind: WorkloadKind, transactions_per_thread: u64) -> Self {
+        self.kind = kind;
+        self.transactions_per_thread = transactions_per_thread;
+        self
+    }
+
+    /// Sets the base seed (program structure and, unless overridden with
+    /// [`perturbation`](Self::perturbation), the timing jitter).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self.perturbation = s;
+        self
+    }
+
+    /// Sets the timing-perturbation seed independently of the program
+    /// seed (§5 methodology).
+    pub fn perturbation(mut self, p: u64) -> Self {
+        self.perturbation = p;
+        self
+    }
+
+    /// Schedules a fault injection.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Overrides the hang watchdog threshold.
+    pub fn watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = cycles;
+        self
+    }
+
+    /// Overrides the hard cycle limit.
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Overrides the verification-cache capacity in words (ablations).
+    pub fn vc_words(mut self, words: usize) -> Self {
+        self.vc_words = words;
+        self
+    }
+
+    /// Overrides the artificial-membar injection period (ablations).
+    pub fn membar_injection_period(mut self, period: u64) -> Self {
+        self.membar_injection_period = period;
+        self
+    }
+
+    /// Overrides the epoch-sorter capacity (ablations).
+    pub fn sorter_capacity(mut self, capacity: usize) -> Self {
+        self.sorter_capacity = capacity;
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> crate::System {
+        let cfg = SystemConfig {
+            nodes: self.nodes,
+            protocol: self.protocol,
+            model: self.model,
+            protection: self.protection,
+            link_bandwidth: self.link_bandwidth,
+            workload: WorkloadParams {
+                kind: self.kind,
+                threads: self.nodes,
+                transactions_per_thread: self.transactions_per_thread,
+                seed: self.seed,
+                perturbation: self.perturbation,
+                model: self.model,
+            },
+            fault: self.fault,
+            watchdog_cycles: self.watchdog_cycles,
+            max_cycles: self.max_cycles,
+            vc_words: self.vc_words,
+            membar_injection_period: self.membar_injection_period,
+            sorter_capacity: self.sorter_capacity,
+        };
+        crate::System::new(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_labels() {
+        assert_eq!(Protection::BASE.label(), "Base");
+        assert_eq!(Protection::SN.label(), "SN");
+        assert_eq!(Protection::SN_DVCC.label(), "SN+DVCC");
+        assert_eq!(Protection::SN_DVUO.label(), "SN+DVUO");
+        assert_eq!(Protection::FULL.label(), "DVMC");
+    }
+
+    #[test]
+    fn builder_threads_follow_nodes() {
+        let sys = SystemBuilder::new().nodes(4).build();
+        assert_eq!(sys.config().workload.threads, 4);
+    }
+
+    #[test]
+    fn cluster_config_inherits_verification() {
+        let b = SystemBuilder::new().protection(Protection::SN_DVUO);
+        let sys = b.build();
+        assert!(!sys.config().cluster_config().node.verify);
+        assert!(sys.config().core_config().dvmc);
+    }
+}

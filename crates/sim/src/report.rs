@@ -1,0 +1,129 @@
+//! Run reports: everything the experiment harnesses consume.
+
+use dvmc_coherence::CacheStats;
+use dvmc_core::{UniprocStats, Violation};
+use dvmc_faults::Fault;
+use dvmc_pipeline::CoreStats;
+use dvmc_types::Cycle;
+
+/// The outcome of a fault-injection trial (§6.1).
+#[derive(Clone, Debug)]
+pub struct Detection {
+    /// The injected fault.
+    pub fault: Fault,
+    /// When the fault took effect.
+    pub injected_at: Cycle,
+    /// When a checker (or the hang watchdog) flagged it.
+    pub detected_at: Cycle,
+    /// The first violation raised, if detection came from a checker
+    /// (`None` for watchdog/hang detections).
+    pub violation: Option<Violation>,
+    /// Whether SafetyNet still held a checkpoint predating the fault.
+    pub recoverable: bool,
+}
+
+impl Detection {
+    /// Detection latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.detected_at.saturating_sub(self.injected_at)
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Transactions completed across all threads.
+    pub transactions: u64,
+    /// Whether every thread finished its transaction quota.
+    pub completed: bool,
+    /// Whether the hang watchdog fired.
+    pub hung: bool,
+    /// Violations observed during error-free runs (must be empty) or
+    /// before the run stopped on detection.
+    pub violations: Vec<Violation>,
+    /// Fault-injection outcome, when a fault was scheduled.
+    pub detection: Option<Detection>,
+    /// Per-core pipeline statistics.
+    pub core_stats: Vec<CoreStats>,
+    /// Per-core replay statistics.
+    pub replay_stats: Vec<UniprocStats>,
+    /// Per-node cache statistics.
+    pub cache_stats: Vec<CacheStats>,
+    /// Bytes on the most-loaded torus link.
+    pub max_link_bytes: u64,
+    /// Total torus bytes.
+    pub total_bytes: u64,
+    /// Coherence-checker (Inform-Epoch) bytes.
+    pub checker_bytes: u64,
+    /// BER coordination bytes.
+    pub ber_bytes: u64,
+}
+
+impl RunReport {
+    /// Mean bandwidth (bytes/cycle) on the most-loaded link — the metric
+    /// of Figure 7.
+    pub fn max_link_bandwidth(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.max_link_bytes as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total retired memory operations.
+    pub fn retired_ops(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.retired_ops).sum()
+    }
+
+    /// Aggregate demand L1 misses.
+    pub fn l1_misses(&self) -> u64 {
+        self.cache_stats.iter().map(|s| s.l1_misses).sum()
+    }
+
+    /// Aggregate replay L1 misses (Figure 6 numerator).
+    pub fn replay_l1_misses(&self) -> u64 {
+        self.cache_stats.iter().map(|s| s.replay_l1_misses).sum()
+    }
+}
+
+/// Mean and sample standard deviation of a series — §5 reports means with
+/// one-standard-deviation error bars over ten perturbed runs.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[3.0]), (3.0, 0.0));
+    }
+
+    #[test]
+    fn detection_latency() {
+        let d = Detection {
+            fault: Fault::DropMessage,
+            injected_at: 100,
+            detected_at: 450,
+            violation: None,
+            recoverable: true,
+        };
+        assert_eq!(d.latency(), 350);
+    }
+}

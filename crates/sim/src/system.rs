@@ -1,0 +1,292 @@
+//! The full system: cores + coherent memory system + checkers + BER +
+//! fault injection, advanced cycle by cycle.
+
+use crate::config::SystemConfig;
+use crate::report::{Detection, RunReport};
+use dvmc_ber::{BerEvent, SafetyNet, SafetyNetConfig};
+use dvmc_coherence::Cluster;
+use dvmc_core::Violation;
+use dvmc_faults::Fault;
+use dvmc_pipeline::Core;
+use dvmc_types::rng::{det_rng, derive_seed, DetRng};
+use dvmc_types::{Cycle, NodeId};
+use dvmc_workloads::spec::build_streams;
+use rand::Rng;
+
+/// A complete simulated machine.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    cluster: Cluster,
+    ber: Option<SafetyNet>,
+    rng: DetRng,
+    violations: Vec<Violation>,
+    fault_injected_at: Option<Cycle>,
+    fault_done: bool,
+    /// Per-core (retired count, last progress cycle) for the hang watchdog.
+    progress: Vec<(u64, Cycle)>,
+    hung: bool,
+}
+
+impl System {
+    /// Builds the system from its configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let cluster = Cluster::new(cfg.cluster_config());
+        let core_cfg = cfg.core_config();
+        let streams = build_streams(&cfg.workload);
+        let cores = streams
+            .into_iter()
+            .map(|s| Core::new(core_cfg, s))
+            .collect();
+        System {
+            cores,
+            cluster,
+            ber: cfg
+                .protection
+                .ber
+                .then(|| SafetyNet::new(SafetyNetConfig::default())),
+            rng: det_rng(derive_seed(cfg.workload.seed, 0xFA17)),
+            violations: Vec::new(),
+            fault_injected_at: None,
+            fault_done: cfg.fault.is_none(),
+            progress: vec![(0, 0); cfg.nodes],
+            hung: false,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycle {
+        self.cluster.now()
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self) {
+        let now = self.cluster.now();
+        self.maybe_inject_fault(now);
+        // BER checkpointing and its coordination traffic.
+        if let Some(ber) = self.ber.as_mut() {
+            if let Some(BerEvent::CheckpointTaken { .. }) = ber.tick(now) {
+                let bytes = ber.config().coordination_bytes;
+                for i in 1..self.cfg.nodes {
+                    self.cluster.send_ber(NodeId(i as u8), NodeId(0), bytes);
+                    self.cluster.send_ber(NodeId(0), NodeId(i as u8), bytes);
+                }
+            }
+        }
+        // Cores interact with their caches. Invalidations are noted
+        // before responses are delivered: a response and the invalidation
+        // that staled it can land in the same cycle, and the speculation
+        // window must close first (§4.1).
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let id = NodeId(i as u8);
+            let inv = self.cluster.drain_invalidated(id);
+            core.note_invalidations(&inv);
+            while let Some(resp) = self.cluster.pop_resp(id) {
+                core.deliver(resp);
+            }
+            for req in core.tick(now) {
+                self.cluster.submit(id, req);
+            }
+            self.violations.extend(core.drain_violations());
+        }
+        // The memory system advances.
+        self.cluster.tick();
+        self.violations.extend(self.cluster.drain_violations());
+        // Per-core hang watchdog (real systems detect lost requests with
+        // per-transaction timeouts; a core that stops retiring while not
+        // finished is hung even if its peers still make progress).
+        for (i, core) in self.cores.iter().enumerate() {
+            let retired = core.retired_ops();
+            if retired != self.progress[i].0 || core.is_done() {
+                self.progress[i] = (retired, now);
+            } else if now - self.progress[i].1 > self.cfg.watchdog_cycles {
+                self.hung = true;
+            }
+        }
+    }
+
+    /// Debug helper: per-core retired counts plus hang flag.
+    pub fn report_peek(&self) -> (Vec<u64>, bool) {
+        (
+            self.cores.iter().map(Core::retired_ops).collect(),
+            self.hung,
+        )
+    }
+
+    /// Debug helper: dumps every core and cache controller.
+    pub fn dump(&mut self) {
+        for (i, core) in self.cores.iter().enumerate() {
+            eprintln!("core{i}: {}", core.dump());
+            eprintln!("node{i}: {}", self.cluster.node_mut(NodeId(i as u8)).dump());
+        }
+    }
+
+    /// Arms a network fault targeting coherence-protocol messages (checker
+    /// and BER traffic are excluded: losing them costs detection coverage
+    /// or a false positive, not correctness — §6.1 injects protocol
+    /// errors).
+    fn arm_net_fault(&mut self, fault: dvmc_interconnect::NetFault) {
+        use dvmc_coherence::Msg;
+        self.cluster.data_net_mut().arm_fault_filtered(fault, |m: &Msg| {
+            !matches!(m, Msg::Epoch(_) | Msg::Ber { .. })
+        });
+    }
+
+    fn all_done(&self) -> bool {
+        self.cores.iter().all(Core::is_done)
+    }
+
+    fn maybe_inject_fault(&mut self, now: Cycle) {
+        if self.fault_done {
+            return;
+        }
+        let Some(plan) = self.cfg.fault else {
+            self.fault_done = true;
+            return;
+        };
+        if now < plan.at_cycle {
+            return;
+        }
+        // Some faults need state to exist (a resident line, a WB entry);
+        // retry every cycle until the injection takes.
+        let idx = self.rng.gen::<u64>() as usize;
+        let bit = self.rng.gen::<u32>();
+        let took = match plan.fault {
+            Fault::CacheBitFlip { node } => self
+                .cluster
+                .node_mut(node)
+                .corrupt_l2(idx, bit as usize % 512)
+                .is_some(),
+            Fault::MemoryBitFlip { node } => self
+                .cluster
+                .home_mut(node)
+                .corrupt_memory(idx, bit as usize % 512)
+                .is_some(),
+            Fault::DropMessage => {
+                self.arm_net_fault(dvmc_interconnect::NetFault::Drop);
+                true
+            }
+            Fault::DuplicateMessage => {
+                self.arm_net_fault(dvmc_interconnect::NetFault::Duplicate);
+                true
+            }
+            Fault::MisrouteMessage { to } => {
+                self.arm_net_fault(dvmc_interconnect::NetFault::Misroute(to));
+                true
+            }
+            Fault::ReorderMessage { delay } => {
+                self.arm_net_fault(dvmc_interconnect::NetFault::Delay(delay));
+                true
+            }
+            Fault::WbDropStore { node } => self.cores[node.index()].inject_wb_drop(),
+            Fault::WbReorderStores { node } => self.cores[node.index()].inject_wb_reorder(),
+            Fault::WbCorruptValue { node } => self.cores[node.index()].inject_wb_corrupt(bit),
+            Fault::WbAddressFlip { node } => self.cores[node.index()].inject_wb_addr_flip(bit),
+            Fault::LsqWrongForward { node } => {
+                self.cores[node.index()].arm_lsq_wrong_forward();
+                true
+            }
+            Fault::CacheCtrlBogusUpgrade { node } => self
+                .cluster
+                .node_mut(node)
+                .corrupt_upgrade(idx)
+                .is_some(),
+            Fault::MemCtrlForgetOwner { node } => self
+                .cluster
+                .home_mut(node)
+                .corrupt_forget_owner(idx)
+                .is_some(),
+        };
+        if took {
+            self.fault_injected_at = Some(now);
+            self.fault_done = true;
+        }
+    }
+
+    /// Runs to completion (all threads finish their transaction quota),
+    /// detection (when a fault is scheduled), hang, or the cycle limit.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> RunReport {
+        let limit = max_cycles.min(self.cfg.max_cycles);
+        let fault_scheduled = self.cfg.fault.is_some();
+        while self.now() < limit {
+            self.tick();
+            if fault_scheduled && self.fault_injected_at.is_some() && !self.violations.is_empty() {
+                break; // detected
+            }
+            if self.hung || self.all_done() {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// Assembles the final report (flushes the coherence checker).
+    pub fn report(&mut self) -> RunReport {
+        let completed = self.all_done();
+        // Drain in-flight coherence traffic (informs, acks, writebacks)
+        // before the end-of-run audit; the cores are done but the memory
+        // system may not be.
+        if completed && !self.hung {
+            let _ = self.cluster.run_to_quiescence(500_000);
+            self.violations.extend(self.cluster.drain_violations());
+        }
+        let now = self.now();
+        // End-of-run audit; skipped when a fault already led to a
+        // detection or hang, where in-flight state is expectedly
+        // inconsistent and the verdict has been decided.
+        if self.cfg.fault.is_none() || (self.violations.is_empty() && !self.hung) {
+            self.violations.extend(self.cluster.finish());
+        }
+        let detection = match (self.cfg.fault, self.fault_injected_at) {
+            (Some(plan), Some(injected_at)) if !self.violations.is_empty() || self.hung => {
+                let recoverable = self
+                    .ber
+                    .as_ref()
+                    .map(|b| b.recoverable(injected_at, now))
+                    .unwrap_or(false);
+                Some(Detection {
+                    fault: plan.fault,
+                    injected_at,
+                    detected_at: now,
+                    violation: self.violations.first().cloned(),
+                    recoverable,
+                })
+            }
+            _ => None,
+        };
+        RunReport {
+            cycles: now,
+            transactions: self.cores.iter().map(Core::transactions).sum(),
+            completed,
+            hung: self.hung,
+            violations: self.violations.clone(),
+            detection,
+            core_stats: self.cores.iter().map(Core::stats).collect(),
+            replay_stats: self.cores.iter().map(Core::replay_stats).collect(),
+            cache_stats: (0..self.cfg.nodes)
+                .map(|i| self.cluster.cache_stats(NodeId(i as u8)))
+                .collect(),
+            max_link_bytes: self.cluster.data_net().max_link_bytes(),
+            total_bytes: self.cluster.data_net().total_bytes(),
+            checker_bytes: self.cluster.checker_bytes(),
+            ber_bytes: self.cluster.ber_bytes(),
+        }
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("nodes", &self.cfg.nodes)
+            .field("model", &self.cfg.model)
+            .field("protocol", &self.cfg.protocol)
+            .field("cycle", &self.now())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,95 @@
+//! CRC-16 block hashing (§4.3 "Data Block Hashing").
+//!
+//! The paper hashes 64-byte data blocks down to 16 bits with CRC-16 before
+//! storing them in CETs and METs or shipping them in Inform-Epoch messages.
+//! CRC-16 detects every error pattern of fewer than 16 erroneous bits within
+//! a single block, and aliases with probability 1/65535 for wider patterns.
+//!
+//! We use the CRC-16/CCITT-FALSE parameterization (polynomial `0x1021`,
+//! initial value `0xFFFF`), computed bitwise from a compile-time table.
+
+const POLY: u16 = 0x1021;
+const INIT: u16 = 0xFFFF;
+
+const fn build_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u16; 256] = build_table();
+
+/// Computes the CRC-16/CCITT-FALSE checksum of `data`.
+///
+/// ```rust
+/// assert_eq!(dvmc_types::crc16(b"123456789"), 0x29B1);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc = INIT;
+    for &b in data {
+        crc = (crc << 8) ^ TABLE[((crc >> 8) ^ b as u16) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_check_value() {
+        // The standard check value for CRC-16/CCITT-FALSE.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn empty_is_init() {
+        assert_eq!(crc16(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn detects_single_bit_flips_in_block() {
+        // The paper's guarantee: no false negatives for blocks with fewer
+        // than 16 erroneous bits. Exhaustively confirm for 1-bit flips over
+        // a 64-byte block.
+        let base = [0xA5u8; 64];
+        let h = crc16(&base);
+        for bit in 0..(64 * 8) {
+            let mut corrupted = base;
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc16(&corrupted), h, "missed flip at bit {bit}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn detects_double_bit_flips(data in proptest::collection::vec(any::<u8>(), 64),
+                                    a in 0usize..512, b in 0usize..512) {
+            prop_assume!(a != b);
+            let mut corrupted = data.clone();
+            corrupted[a / 8] ^= 1 << (a % 8);
+            corrupted[b / 8] ^= 1 << (b % 8);
+            prop_assert_ne!(crc16(&corrupted), crc16(&data));
+        }
+
+        #[test]
+        fn deterministic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(crc16(&data), crc16(&data));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Identifiers for nodes and program-order positions.
+
+use std::fmt;
+
+/// Identifies a node: one processor, its private cache hierarchy, and its
+/// slice of distributed memory (directory / memory controller).
+///
+/// The paper uses "processor" for both physical processors and thread
+/// contexts; our simulator runs one hardware thread per node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u8);
+
+impl NodeId {
+    /// The node's index as a `usize`, for indexing per-node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u8> for NodeId {
+    fn from(v: u8) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A per-processor program-order sequence number (§4.2).
+///
+/// Every instruction X is labelled with `seqX` during decode; since
+/// operations decode in program order, `seqX` equals X's rank in program
+/// order. The Allowable Reordering checker compares these against its
+/// `max{OP}` counter registers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The next sequence number in program order.
+    #[inline]
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_next_is_monotonic() {
+        let s = SeqNum(41);
+        assert!(s < s.next());
+        assert_eq!(s.next(), SeqNum(42));
+    }
+
+    #[test]
+    fn node_id_index() {
+        assert_eq!(NodeId(3).index(), 3);
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", SeqNum(9)), "#9");
+    }
+}

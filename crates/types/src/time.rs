@@ -1,0 +1,138 @@
+//! Physical cycles and the 16-bit logical time of the coherence checker.
+
+use std::fmt;
+
+/// A physical simulation cycle count.
+pub type Cycle = u64;
+
+/// A 16-bit logical timestamp (§4.3 "Logical Time").
+///
+/// The paper deliberately keeps logical times small (16 bits) to bound
+/// storage and error-detection latency, and scrubs old timestamps out of the
+/// CETs and METs before wraparound can make comparisons ambiguous.
+///
+/// `Ts16` therefore provides **windowed** comparison: `a` is considered
+/// earlier than `b` when the wrapping distance from `a` to `b` is less than
+/// half the timestamp space (2^15). The scrubbing machinery in
+/// `dvmc-core::coherence` guarantees that all live timestamps stay within
+/// one window of each other, which makes windowed comparison exact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Ts16(pub u16);
+
+impl Ts16 {
+    /// Half the timestamp space; the largest distance at which windowed
+    /// comparison is unambiguous.
+    pub const WINDOW: u16 = 1 << 15;
+
+    /// Truncates a full-width logical time to its 16-bit wire form.
+    #[inline]
+    pub fn from_full(t: u64) -> Ts16 {
+        Ts16(t as u16)
+    }
+
+    /// Signed wrapping distance from `self` to `other`.
+    ///
+    /// Positive means `other` is later than `self` within the window.
+    #[inline]
+    pub fn delta(self, other: Ts16) -> i16 {
+        other.0.wrapping_sub(self.0) as i16
+    }
+
+    /// Windowed "earlier than".
+    #[inline]
+    pub fn earlier_than(self, other: Ts16) -> bool {
+        self.delta(other) > 0
+    }
+
+    /// Windowed "earlier than or equal".
+    #[inline]
+    pub fn earlier_or_eq(self, other: Ts16) -> bool {
+        self.delta(other) >= 0
+    }
+
+    /// The later of two timestamps under windowed comparison.
+    #[inline]
+    pub fn max_windowed(self, other: Ts16) -> Ts16 {
+        if self.earlier_than(other) {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The deadline by which an epoch starting now must be reported open
+    /// (an eighth of the window). Keeping open-epoch starts this fresh
+    /// lets the MET scrub stale end-times up to a quarter-window horizon
+    /// without ever clamping past a live start (see
+    /// `dvmc-core::coherence` for the margin arithmetic).
+    #[inline]
+    pub fn scrub_deadline(self) -> Ts16 {
+        Ts16(self.0.wrapping_add(Self::WINDOW / 8))
+    }
+}
+
+impl fmt::Debug for Ts16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Ts16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u16> for Ts16 {
+    fn from(v: u16) -> Self {
+        Ts16(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_ordering() {
+        assert!(Ts16(1).earlier_than(Ts16(2)));
+        assert!(!Ts16(2).earlier_than(Ts16(1)));
+        assert!(!Ts16(5).earlier_than(Ts16(5)));
+        assert!(Ts16(5).earlier_or_eq(Ts16(5)));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        // 0xFFFF is "just before" 0x0001 in windowed time.
+        assert!(Ts16(0xFFFF).earlier_than(Ts16(0x0001)));
+        assert!(!Ts16(0x0001).earlier_than(Ts16(0xFFFF)));
+    }
+
+    #[test]
+    fn max_windowed_across_wrap() {
+        assert_eq!(Ts16(0xFFFE).max_windowed(Ts16(0x0003)), Ts16(0x0003));
+        assert_eq!(Ts16(0x0003).max_windowed(Ts16(0xFFFE)), Ts16(0x0003));
+    }
+
+    #[test]
+    fn truncation_from_full_time() {
+        assert_eq!(Ts16::from_full(0x1_0000 + 5), Ts16(5));
+    }
+
+    proptest! {
+        #[test]
+        fn windowed_comparison_matches_full_within_window(base in any::<u64>(), d in 1u64..(1 << 15)) {
+            let a = Ts16::from_full(base);
+            let b = Ts16::from_full(base + d);
+            prop_assert!(a.earlier_than(b));
+            prop_assert!(!b.earlier_than(a));
+        }
+
+        #[test]
+        fn delta_is_antisymmetric(a in any::<u16>(), b in any::<u16>()) {
+            let (a, b) = (Ts16(a), Ts16(b));
+            prop_assert_eq!(a.delta(b), b.delta(a).wrapping_neg());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # Synthetic commercial workloads
+//!
+//! Stand-ins for the Wisconsin Commercial Workload Suite (Table 8), which
+//! is proprietary. Each workload reproduces the sharing, locking, and
+//! transaction structure the paper attributes to the original (see
+//! DESIGN.md for the substitution argument):
+//!
+//! | name     | character                                            |
+//! |----------|------------------------------------------------------|
+//! | `apache` | static web serving: read-mostly, moderate locking    |
+//! | `oltp`   | TPC-C-like: short read/write txns on contended rows  |
+//! | `jbb`    | SPECjbb-like: mostly-private object churn            |
+//! | `slash`  | slashcode: a few *highly* contended locks, high variance |
+//! | `barnes` | SPLASH-2 Barnes-Hut: barrier-phased scientific sharing |
+//!
+//! All workloads are built from [`txn::TxnStream`], a lock-based
+//! transaction generator implementing test-and-test-and-set spin locks,
+//! critical sections over lock-protected rows, release barriers as the
+//! consistency model requires, and sense-reversing barrier phases for
+//! `barnes`. Progress is measured in completed transactions (§6.2 runs a
+//! fixed transaction count; `barnes` runs its phases to completion).
+//!
+//! Runs are deterministic functions of the seed; §5's ten perturbed runs
+//! derive per-run seeds via `dvmc_types::rng::perturbation_seed`.
+
+pub mod layout;
+pub mod spec;
+pub mod txn;
+
+pub use layout::Layout;
+pub use spec::{build_streams, Profile, WorkloadKind, WorkloadParams};
+pub use txn::TxnStream;

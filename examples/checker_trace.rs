@@ -1,0 +1,93 @@
+//! Using the DVMC checkers as a standalone library (§3's modularity
+//! claim): drive each checker with a hand-written architectural event
+//! trace — no simulator involved — and watch them accept a legal trace and
+//! reject corrupted variants of it.
+//!
+//! ```sh
+//! cargo run --release --example checker_trace
+//! ```
+
+use dvmc::consistency::{Model, OpClass};
+use dvmc::core::coherence::{EpochKind, HomeChecker, InformEpoch};
+use dvmc::core::{ReorderChecker, ReplayLookup, UniprocChecker};
+use dvmc::types::{BlockAddr, NodeId, SeqNum, Ts16, WordAddr};
+
+fn main() {
+    println!("== driving the three DVMC checkers from an event trace ==\n");
+
+    // --- 1. Allowable Reordering (§4.2) --------------------------------
+    // Program order: ST A (#0), LD B (#1). Under TSO the load may perform
+    // first; under SC it may not.
+    for model in [Model::Tso, Model::Sc] {
+        let mut chk = ReorderChecker::new();
+        chk.op_committed(SeqNum(0), OpClass::Store, model);
+        chk.op_committed(SeqNum(1), OpClass::Load, model);
+        let load_first = chk.op_performed(SeqNum(1), OpClass::Load, model);
+        let store_after = chk.op_performed(SeqNum(0), OpClass::Store, model);
+        println!(
+            "reorder checker [{model}]: load-before-store perform order -> {}",
+            match (load_first, store_after) {
+                (Ok(()), Ok(())) => "accepted (Store->Load is relaxed)".to_string(),
+                (_, Err(v)) => format!("rejected: {v}"),
+                (Err(v), _) => format!("rejected: {v}"),
+            }
+        );
+    }
+
+    // --- 2. Uniprocessor Ordering (§4.1) --------------------------------
+    let mut chk = UniprocChecker::default();
+    let a = WordAddr(0x40);
+    chk.store_committed(a, 7);
+    // The original execution forwarded 7 from the LSQ — replay agrees:
+    assert_eq!(chk.replay_load(a, 7).unwrap(), ReplayLookup::VcHit);
+    println!("\nuniproc checker: replay of a correctly forwarded load -> accepted");
+    // A corrupted LSQ forwarded 6 instead:
+    let verdict = chk.replay_load(a, 6).unwrap_err();
+    println!("uniproc checker: replay of a mis-forwarded load       -> {verdict}");
+    // The write buffer drains a corrupted value to the cache:
+    let verdict = chk.store_performed(a, 99).unwrap_err();
+    println!("uniproc checker: corrupted write-buffer drain         -> {verdict}");
+
+    // --- 3. Cache Coherence (§4.3) --------------------------------------
+    let addr = BlockAddr(0x99);
+    let mk = |node: u8, kind, start: u16, end: u16, h0: u16, h1: u16| {
+        InformEpoch {
+            addr,
+            kind,
+            node: NodeId(node),
+            start: Ts16(start),
+            end: Ts16(end),
+            start_hash: h0,
+            end_hash: h1,
+        }
+        .into()
+    };
+    // A legal epoch history: writer, two readers, writer again.
+    let mut home = HomeChecker::new(NodeId(0), 256);
+    home.met_mut().ensure_entry(addr, Ts16(0), 0xAAAA);
+    home.push(mk(1, EpochKind::ReadWrite, 1, 5, 0xAAAA, 0xBBBB)).unwrap();
+    home.push(mk(2, EpochKind::ReadOnly, 5, 9, 0xBBBB, 0xBBBB)).unwrap();
+    home.push(mk(3, EpochKind::ReadOnly, 6, 8, 0xBBBB, 0xBBBB)).unwrap();
+    home.push(mk(2, EpochKind::ReadWrite, 9, 12, 0xBBBB, 0xCCCC)).unwrap();
+    home.flush().unwrap();
+    println!("\ncoherence checker: legal RW/RO/RO/RW epoch history     -> accepted");
+
+    // Single-writer violation: overlapping Read-Write epochs.
+    let mut home = HomeChecker::new(NodeId(0), 256);
+    home.met_mut().ensure_entry(addr, Ts16(0), 0xAAAA);
+    home.push(mk(1, EpochKind::ReadWrite, 1, 6, 0xAAAA, 0xBBBB)).unwrap();
+    home.push(mk(2, EpochKind::ReadWrite, 4, 9, 0xBBBB, 0xCCCC)).unwrap();
+    let verdict = home.flush().unwrap_err();
+    println!("coherence checker: two concurrent writers (SWMR break) -> {verdict}");
+
+    // Data-propagation violation: a block corrupted in flight.
+    let mut home = HomeChecker::new(NodeId(0), 256);
+    home.met_mut().ensure_entry(addr, Ts16(0), 0xAAAA);
+    home.push(mk(1, EpochKind::ReadWrite, 1, 5, 0xAAAA, 0xBBBB)).unwrap();
+    home.push(mk(2, EpochKind::ReadOnly, 6, 8, 0xDEAD, 0xDEAD)).unwrap();
+    let verdict = home.flush().unwrap_err();
+    println!("coherence checker: corrupted data transfer             -> {verdict}");
+
+    println!("\nthe three checkers compose into DVMC, but each stands alone —");
+    println!("exactly the modularity the paper's framework claims (§3).");
+}

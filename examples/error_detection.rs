@@ -1,0 +1,73 @@
+//! Error-detection demo (§6.1): inject one fault of every category into a
+//! running OLTP workload and show how each is detected — by which checker,
+//! how quickly, and whether SafetyNet could still recover.
+//!
+//! ```sh
+//! cargo run --release --example error_detection
+//! ```
+
+use dvmc::consistency::Model;
+use dvmc::faults::{all_faults, FaultPlan};
+use dvmc::sim::SystemBuilder;
+use dvmc::types::NodeId;
+use dvmc::workloads::spec::WorkloadKind;
+
+fn main() {
+    println!("== DVMC error-detection demo: one fault of every category ==\n");
+    println!(
+        "{:<22} {:>9} {:>9} {:>12}  first violation",
+        "fault", "detected", "latency", "recoverable"
+    );
+    println!("{}", "-".repeat(86));
+
+    let mut all_detected = true;
+    for (i, fault) in all_faults(NodeId(1), NodeId(2)).into_iter().enumerate() {
+        let mut system = SystemBuilder::new()
+            .nodes(4)
+            .model(Model::Tso)
+            .workload(WorkloadKind::Oltp, 1_000_000) // runs until detection
+            .seed(100 + i as u64)
+            .fault(FaultPlan {
+                at_cycle: 20_000,
+                fault,
+            })
+            .watchdog(100_000)
+            .max_cycles(3_000_000)
+            .build();
+        let report = system.run_to_completion(3_000_000);
+        match report.detection {
+            Some(d) => {
+                let what = match &d.violation {
+                    Some(v) => shorten(&v.to_string()),
+                    None => "hang watchdog (lost message)".to_string(),
+                };
+                println!(
+                    "{:<22} {:>9} {:>9} {:>12}  {}",
+                    fault.to_string(),
+                    "yes",
+                    d.latency(),
+                    if d.recoverable { "yes" } else { "NO" },
+                    what
+                );
+            }
+            None => {
+                all_detected = false;
+                println!("{:<22} {:>9}", fault.to_string(), "MISSED");
+            }
+        }
+    }
+    println!();
+    if all_detected {
+        println!("every injected error was detected — matching the paper's §6.1 result.");
+    } else {
+        println!("some fault escaped detection; see EXPERIMENTS.md for discussion.");
+    }
+}
+
+fn shorten(s: &str) -> String {
+    if s.len() > 60 {
+        format!("{}…", &s[..59])
+    } else {
+        s.to_string()
+    }
+}

@@ -1,0 +1,118 @@
+//! Litmus tests across consistency models: runs the classic
+//! store-buffering (SB) pattern on two cores, with and without fences,
+//! under SC / TSO / PSO / RMO, and shows which outcomes each model admits
+//! — with the DVMC checkers watching the whole time.
+//!
+//! ```sh
+//! cargo run --release --example litmus
+//! ```
+
+use dvmc::coherence::{Cluster, ClusterConfig, Protocol};
+use dvmc::consistency::{MembarMask, Model, OpClass};
+use dvmc::pipeline::{Core, CoreConfig, Instr, ScriptedStream};
+use dvmc::types::NodeId;
+
+/// Runs two scripted threads to completion on a real coherent memory
+/// system; returns each core's committed load values (in program order).
+fn run(model: Model, scripts: Vec<Vec<Instr>>) -> (Vec<Vec<u64>>, usize) {
+    let cluster_cfg = ClusterConfig::paper_default(scripts.len(), Protocol::Directory);
+    let mut cluster = Cluster::new(cluster_cfg);
+    let mut cores: Vec<Core> = scripts
+        .into_iter()
+        .map(|s| {
+            let cfg = CoreConfig {
+                model,
+                record_commits: true,
+                ..CoreConfig::default()
+            };
+            Core::new(cfg, Box::new(ScriptedStream::new(s)))
+        })
+        .collect();
+    for _ in 0..500_000 {
+        let now = cluster.now();
+        for (i, core) in cores.iter_mut().enumerate() {
+            let id = NodeId(i as u8);
+            let inv = cluster.drain_invalidated(id);
+            core.note_invalidations(&inv);
+            while let Some(resp) = cluster.pop_resp(id) {
+                core.deliver(resp);
+            }
+            for req in core.tick(now) {
+                cluster.submit(id, req);
+            }
+        }
+        cluster.tick();
+        if cores.iter().all(Core::is_done) {
+            break;
+        }
+    }
+    let mut violations = cluster.finish().len();
+    let values = cores
+        .iter_mut()
+        .map(|c| {
+            violations += c.drain_violations().len();
+            c.take_commit_log()
+                .into_iter()
+                .filter(|(_, class, _)| *class == OpClass::Load)
+                .map(|(_, _, v)| v)
+                .collect()
+        })
+        .collect();
+    (values, violations)
+}
+
+fn sb_scripts(fenced: bool) -> Vec<Vec<Instr>> {
+    let (x, y) = (1024, 2048);
+    // Warm both variables into each cache so the final loads can race the
+    // remote stores — the canonical SB interleaving.
+    let warm = |a, b| vec![Instr::load(a), Instr::load(b), Instr::Delay(400)];
+    let tail = |store_addr, load_addr| {
+        let mut v = vec![Instr::store(store_addr, 1)];
+        if fenced {
+            v.push(Instr::membar(MembarMask::ALL));
+        }
+        v.push(Instr::load(load_addr));
+        v
+    };
+    let mut t0 = warm(x, y);
+    t0.extend(tail(x, y));
+    let mut t1 = warm(y, x);
+    t1.extend(tail(y, x));
+    vec![t0, t1]
+}
+
+fn main() {
+    println!("== store-buffering litmus: t0: x=1; r0=y   t1: y=1; r1=x ==\n");
+    println!("{:<7} {:<8} {:>10} verdict", "model", "fences", "(r0, r1)");
+    println!("{}", "-".repeat(56));
+    for fenced in [false, true] {
+        for model in [Model::Sc, Model::Tso, Model::Pso, Model::Rmo] {
+            let (values, violations) = run(model, sb_scripts(fenced));
+            let r0 = *values[0].last().expect("loads committed");
+            let r1 = *values[1].last().expect("loads committed");
+            let relaxed = r0 == 0 && r1 == 0;
+            let verdict = match (model, fenced, relaxed) {
+                (Model::Sc, _, true) | (_, true, true) => "FORBIDDEN outcome observed!",
+                (Model::Sc, _, false) | (_, true, false) => "strict: (0,0) correctly absent",
+                (_, false, true) => "relaxed outcome observed (write buffering)",
+                (_, false, false) => "relaxed outcome admissible but not hit",
+            };
+            println!(
+                "{:<7} {:<8} {:>10} {} [{} checker violations]",
+                model.to_string(),
+                if fenced { "membar" } else { "none" },
+                format!("({r0}, {r1})"),
+                verdict,
+                violations
+            );
+            assert_eq!(violations, 0, "checkers must stay silent");
+            if model == Model::Sc || fenced {
+                assert!(!relaxed, "{model} fenced={fenced} must forbid (0,0)");
+            }
+        }
+        println!();
+    }
+    println!("TSO/PSO/RMO expose the store-buffering relaxation; SC and fenced");
+    println!("executions never do — and the DVMC checkers accept all of them,");
+    println!("because each is consistent with its model's ordering table.");
+}
