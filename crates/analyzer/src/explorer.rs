@@ -1,0 +1,834 @@
+//! Exhaustive BFS model checker over small coherence configurations.
+//!
+//! Qadeer-style small-configuration checking: 2–3 `CacheNode`s, one
+//! `HomeCtrl`, 1–2 blocks, driving the real controller step functions
+//! (`submit`/`deliver`/`deliver_snoop`/`tick`/`pop_msg`). The explorer
+//! owns the network: outbound messages drain into an in-flight pool
+//! (modelling the unordered torus) and delivery order is the explored
+//! nondeterminism; snooping address requests are serialized atomically to
+//! every controller (modelling the ordered broadcast tree).
+//!
+//! Checked invariants, per reachable state:
+//!
+//! - **SWMR**: at most one cache holds a block in an owning state (M/O),
+//!   and an M copy excludes all other cached copies.
+//! - **Data-value integrity**: every load returns a value some store
+//!   actually wrote to that word (writes use globally unique values, so
+//!   fabricated or cross-wired data is caught), checked against a golden
+//!   memory model.
+//! - **No unhandled (state, message) combinations**: controller panics
+//!   (`unreachable!`/`expect` on impossible protocol events) are caught
+//!   and reported as counterexamples.
+//! - **Deadlock-freedom**: every non-quiescent state has an enabled
+//!   transition.
+//!
+//! On violation the BFS parent map reconstructs the full action trace
+//! from the initial state.
+
+use dvmc_coherence::probe::{encode_addr_req, encode_msg};
+use dvmc_coherence::{
+    AddrReq, CacheNode, HomeConfig, HomeCtrl, Mosi, Msg, NodeConfig, Outbound, ProcReq, Protocol,
+};
+use dvmc_types::{BlockAddr, NodeId, WordAddr};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Test-only protocol mutations, used to prove the checker catches real
+/// bugs (`--mutant`): each seeds a deliberate defect at the network
+/// layer, leaving the production controllers untouched.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mutant {
+    /// Faithful protocol (the clean gate).
+    None,
+    /// Drop invalidations but acknowledge them anyway — the classic
+    /// skipped-invalidation bug; a stale shared copy survives a writer's
+    /// GetM, breaking SWMR.
+    SkipInvAck,
+    /// Flip a data bit in every DataS/DataM grant — requesters cache and
+    /// serve values no store ever wrote, breaking value integrity.
+    CorruptData,
+}
+
+impl Mutant {
+    /// Parses a `--mutant` argument.
+    pub fn parse(name: &str) -> Option<Mutant> {
+        match name {
+            "none" => Some(Mutant::None),
+            "skip-inv" => Some(Mutant::SkipInvAck),
+            "corrupt-data" => Some(Mutant::CorruptData),
+            _ => None,
+        }
+    }
+}
+
+/// One explored configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Protocol variant under test.
+    pub protocol: Protocol,
+    /// Number of cache nodes (2–3 for tractable exhaustive search).
+    pub caches: usize,
+    /// Blocks in play; all map to home node 0.
+    pub blocks: usize,
+    /// Memory operations each cache may issue (the op budget).
+    pub ops_per_cache: usize,
+    /// L2 bytes per cache — small values force evictions and exercise
+    /// the writeback paths.
+    pub l2_bytes: usize,
+    /// Distinct-state budget; exceeding it stops the search (reported,
+    /// not a failure).
+    pub max_states: usize,
+    /// Seeded protocol defect (for negative testing).
+    pub mutant: Mutant,
+}
+
+impl ExploreConfig {
+    /// The acceptance-gate configuration: 3 caches, 2 blocks, MOSI
+    /// directory.
+    pub fn directory_3x2() -> Self {
+        ExploreConfig {
+            protocol: Protocol::Directory,
+            caches: 3,
+            blocks: 2,
+            ops_per_cache: 2,
+            l2_bytes: 256,
+            max_states: 150_000,
+            mutant: Mutant::None,
+        }
+    }
+
+    /// A tiny-cache directory configuration that forces L2 evictions,
+    /// covering the PutM / writeback-race paths.
+    pub fn directory_evicting() -> Self {
+        ExploreConfig {
+            protocol: Protocol::Directory,
+            caches: 2,
+            blocks: 2,
+            ops_per_cache: 2,
+            l2_bytes: 64,
+            max_states: 400_000,
+            mutant: Mutant::None,
+        }
+    }
+
+    /// The snooping configuration: 2 caches, 2 blocks over the ordered
+    /// broadcast tree.
+    pub fn snooping_2x2() -> Self {
+        ExploreConfig {
+            protocol: Protocol::Snooping,
+            caches: 2,
+            blocks: 2,
+            ops_per_cache: 2,
+            l2_bytes: 256,
+            max_states: 400_000,
+            mutant: Mutant::None,
+        }
+    }
+}
+
+/// One transition of the explored system.
+#[derive(Clone, Debug)]
+enum Action {
+    /// Cache `node` issues a read of `word`.
+    SubmitRead { node: usize, word: WordAddr },
+    /// Cache `node` issues a store of `value` to `word`.
+    SubmitWrite {
+        node: usize,
+        word: WordAddr,
+        value: u64,
+    },
+    /// Deliver one pooled point-to-point message.
+    Deliver { pool_idx: usize, desc: String },
+    /// Serialize cache `node`'s oldest address-network request to every
+    /// controller (snooping).
+    Serialize { node: usize, desc: String },
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::SubmitRead { node, word } => {
+                write!(f, "cache{node}: submit Read {word:?}")
+            }
+            Action::SubmitWrite { node, word, value } => {
+                write!(f, "cache{node}: submit Write {word:?} = {value}")
+            }
+            Action::Deliver { desc, .. } => write!(f, "deliver {desc}"),
+            Action::Serialize { node, desc } => {
+                write!(f, "serialize cache{node}'s address request: {desc}")
+            }
+        }
+    }
+}
+
+/// A detected protocol defect.
+#[derive(Clone, Debug)]
+pub enum Defect {
+    /// Two caches hold conflicting permission for one block.
+    Swmr { block: BlockAddr, detail: String },
+    /// A load returned a value no store ever wrote.
+    DataIntegrity {
+        word: WordAddr,
+        got: u64,
+        history: Vec<u64>,
+    },
+    /// A non-quiescent state with no enabled transition.
+    Deadlock { detail: String },
+    /// A controller panicked — an unhandled (state, message) combination.
+    Unhandled { message: String },
+}
+
+impl fmt::Display for Defect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Defect::Swmr { block, detail } => {
+                write!(f, "SWMR violation on {block:?}: {detail}")
+            }
+            Defect::DataIntegrity { word, got, history } => write!(
+                f,
+                "data-value integrity violation at {word:?}: load returned {got}, \
+                 but only {history:?} were ever written"
+            ),
+            Defect::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            Defect::Unhandled { message } => {
+                write!(f, "unhandled (state, message) combination: {message}")
+            }
+        }
+    }
+}
+
+/// Result of exploring one configuration.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// Distinct system states visited.
+    pub states: usize,
+    /// Transitions applied.
+    pub transitions: usize,
+    /// Whether the distinct-state budget stopped the search.
+    pub hit_limit: bool,
+    /// First defect found, with the action trace reaching it.
+    pub violation: Option<(Defect, Vec<String>)>,
+}
+
+/// An operation a cache is waiting on.
+#[derive(Clone, Debug)]
+enum Pending {
+    Read { id: u64, word: WordAddr },
+    Write { id: u64, word: WordAddr, value: u64 },
+}
+
+/// The full explored system: controllers, in-flight messages, and the
+/// golden memory model.
+#[derive(Clone)]
+struct State {
+    caches: Vec<CacheNode>,
+    home: HomeCtrl,
+    /// In-flight point-to-point messages (the unordered torus).
+    pool: Vec<Outbound>,
+    /// Per-cache FIFO of address-network requests awaiting serialization.
+    addr_queues: Vec<VecDeque<AddrReq>>,
+    /// Next address-network order tag.
+    next_order: u64,
+    /// Remaining op budget per cache.
+    budget: Vec<usize>,
+    /// The op each cache is blocked on, if any.
+    pending: Vec<Option<Pending>>,
+    /// Every value ever stored per word (index parallel to `words`);
+    /// starts with the initial 0.
+    history: Vec<Vec<u64>>,
+    /// The words in play.
+    words: Vec<WordAddr>,
+    /// Next unique store value.
+    next_value: u64,
+    /// Next request id.
+    next_id: u64,
+    now: u64,
+}
+
+fn node_cfg(cfg: &ExploreConfig) -> NodeConfig {
+    NodeConfig {
+        nodes: cfg.caches,
+        l1_bytes: 64,
+        l1_ways: 1,
+        l2_bytes: cfg.l2_bytes,
+        l2_ways: 1,
+        l1_latency: 0,
+        l2_latency: 0,
+        ports: 8,
+        verify: false,
+        lt_shift: 0,
+    }
+}
+
+fn home_cfg(cfg: &ExploreConfig) -> HomeConfig {
+    HomeConfig {
+        nodes: cfg.caches,
+        mem_latency: 0,
+        verify: false,
+        lt_shift: 0,
+        sorter_capacity: 16,
+    }
+}
+
+/// Blocks that all map to home node 0: 0, caches, 2*caches, ...
+fn blocks_for(cfg: &ExploreConfig) -> Vec<BlockAddr> {
+    (0..cfg.blocks)
+        .map(|i| BlockAddr((i * cfg.caches) as u64))
+        .collect()
+}
+
+impl State {
+    fn initial(cfg: &ExploreConfig) -> State {
+        let caches = (0..cfg.caches)
+            .map(|i| CacheNode::new(NodeId(i as u8), cfg.protocol, node_cfg(cfg)))
+            .collect();
+        let home = HomeCtrl::new(NodeId(0), cfg.protocol, home_cfg(cfg));
+        let words: Vec<WordAddr> = blocks_for(cfg).iter().map(|b| b.word(0)).collect();
+        State {
+            caches,
+            home,
+            pool: Vec::new(),
+            addr_queues: vec![VecDeque::new(); cfg.caches],
+            next_order: 1,
+            budget: vec![cfg.ops_per_cache; cfg.caches],
+            pending: vec![None; cfg.caches],
+            history: vec![vec![0]; words.len()],
+            words,
+            next_value: 1,
+            next_id: 1,
+            now: 0,
+        }
+    }
+
+    /// Ticks all controllers and drains their outputs until nothing moves:
+    /// outbound messages land in the pool, address requests in their
+    /// queues, and completed responses retire pending ops (updating and
+    /// checking the golden memory model).
+    fn settle(&mut self) -> Result<(), Defect> {
+        // A tick can make internal-only progress (e.g. the home's
+        // memory-latency stage releases messages at the *start* of the
+        // next tick), so only stop after several consecutive ticks with
+        // no externally visible movement.
+        let mut idle_ticks = 0;
+        while idle_ticks < 3 {
+            let mut moved = false;
+            self.now += 1;
+            for cache in &mut self.caches {
+                cache.tick(self.now);
+            }
+            self.home.tick(self.now);
+            for i in 0..self.caches.len() {
+                while let Some(o) = self.caches[i].pop_msg() {
+                    self.pool.push(o);
+                    moved = true;
+                }
+                while let Some(r) = self.caches[i].pop_addr_req() {
+                    self.addr_queues[i].push_back(r);
+                    moved = true;
+                }
+                while let Some(resp) = self.caches[i].pop_resp() {
+                    moved = true;
+                    let Some(p) = self.pending[i].take() else {
+                        return Err(Defect::Unhandled {
+                            message: format!("cache{i} produced an unexpected response {resp:?}"),
+                        });
+                    };
+                    match p {
+                        Pending::Read { id, word } => {
+                            if resp.id != id {
+                                return Err(Defect::Unhandled {
+                                    message: format!(
+                                        "cache{i} answered id {} while id {id} was pending",
+                                        resp.id
+                                    ),
+                                });
+                            }
+                            let w = self.word_index(word);
+                            if !self.history[w].contains(&resp.value) {
+                                return Err(Defect::DataIntegrity {
+                                    word,
+                                    got: resp.value,
+                                    history: self.history[w].clone(),
+                                });
+                            }
+                        }
+                        Pending::Write { id, word, value } => {
+                            if resp.id != id {
+                                return Err(Defect::Unhandled {
+                                    message: format!(
+                                        "cache{i} answered id {} while id {id} was pending",
+                                        resp.id
+                                    ),
+                                });
+                            }
+                            let w = self.word_index(word);
+                            self.history[w].push(value);
+                        }
+                    }
+                }
+            }
+            while let Some(o) = self.home.pop_msg() {
+                self.pool.push(o);
+                moved = true;
+            }
+            if moved {
+                idle_ticks = 0;
+            } else {
+                idle_ticks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn word_index(&self, word: WordAddr) -> usize {
+        self.words
+            .iter()
+            .position(|&w| w == word)
+            .expect("op words come from the configured set")
+    }
+
+    /// SWMR over the caches' L2 arrays: at most one M/O owner per block,
+    /// and an M copy excludes all other cached copies.
+    fn check_swmr(&self) -> Result<(), Defect> {
+        let mut per_block: HashMap<BlockAddr, Vec<(usize, Mosi)>> = HashMap::new();
+        for (i, cache) in self.caches.iter().enumerate() {
+            for (addr, state) in cache.probe_l2_states() {
+                per_block.entry(addr).or_default().push((i, state));
+            }
+        }
+        for (block, holders) in per_block {
+            let owners: Vec<&(usize, Mosi)> = holders
+                .iter()
+                .filter(|(_, s)| matches!(s, Mosi::M | Mosi::O))
+                .collect();
+            if owners.len() > 1 {
+                return Err(Defect::Swmr {
+                    block,
+                    detail: format!("multiple owners: {holders:?}"),
+                });
+            }
+            let has_m = holders.iter().any(|(_, s)| *s == Mosi::M);
+            if has_m && holders.len() > 1 {
+                return Err(Defect::Swmr {
+                    block,
+                    detail: format!("M copy coexists with other copies: {holders:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical 128-bit fingerprint of the whole system state.
+    fn fingerprint(&self) -> u128 {
+        let mut tokens: Vec<u64> = Vec::with_capacity(256);
+        for cache in &self.caches {
+            cache.probe_digest(&mut tokens);
+        }
+        self.home.probe_digest(&mut tokens);
+        // The in-flight pool is an unordered multiset: sort encodings.
+        let mut pool_enc: Vec<Vec<u64>> = self
+            .pool
+            .iter()
+            .map(|o| {
+                let mut enc = vec![o.dst.index() as u64];
+                encode_msg(&o.msg, &mut enc);
+                enc
+            })
+            .collect();
+        pool_enc.sort();
+        tokens.push(self.pool.len() as u64);
+        for enc in pool_enc {
+            tokens.extend(enc);
+        }
+        for q in &self.addr_queues {
+            tokens.push(q.len() as u64);
+            for req in q {
+                encode_addr_req(req, &mut tokens);
+            }
+        }
+        tokens.push(self.next_order);
+        tokens.extend(self.budget.iter().map(|&b| b as u64));
+        for p in &self.pending {
+            match p {
+                None => tokens.push(0),
+                Some(Pending::Read { id, word }) => tokens.extend([1, *id, word.0]),
+                Some(Pending::Write { id, word, value }) => {
+                    tokens.extend([2, *id, word.0, *value]);
+                }
+            }
+        }
+        for h in &self.history {
+            tokens.push(h.len() as u64);
+            tokens.extend(h.iter());
+        }
+        tokens.extend([self.next_value, self.next_id]);
+        fnv128(&tokens)
+    }
+
+    /// All transitions enabled in this state.
+    fn enabled_actions(&self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for (i, cache) in self.caches.iter().enumerate() {
+            let _ = cache;
+            if self.budget[i] > 0 && self.pending[i].is_none() {
+                for &word in &self.words {
+                    actions.push(Action::SubmitRead { node: i, word });
+                    actions.push(Action::SubmitWrite {
+                        node: i,
+                        word,
+                        value: 0, // resolved at application time
+                    });
+                }
+            }
+        }
+        // Identical in-flight messages lead to identical successors:
+        // enumerate one delivery per distinct encoding.
+        let mut seen: Vec<Vec<u64>> = Vec::new();
+        for (idx, o) in self.pool.iter().enumerate() {
+            let mut enc = vec![o.dst.index() as u64];
+            encode_msg(&o.msg, &mut enc);
+            if seen.contains(&enc) {
+                continue;
+            }
+            seen.push(enc);
+            actions.push(Action::Deliver {
+                pool_idx: idx,
+                desc: describe_outbound(o),
+            });
+        }
+        for (i, q) in self.addr_queues.iter().enumerate() {
+            if let Some(front) = q.front() {
+                actions.push(Action::Serialize {
+                    node: i,
+                    desc: format!("{:?} {:?} by cache{}", front.kind, front.addr, i),
+                });
+            }
+        }
+        actions
+    }
+
+    /// Applies one action and settles. Returns a defect if an invariant
+    /// breaks.
+    fn apply(&mut self, action: &Action, mutant: Mutant) -> Result<(), Defect> {
+        match action {
+            Action::SubmitRead { node, word } => {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.budget[*node] -= 1;
+                self.pending[*node] = Some(Pending::Read { id, word: *word });
+                self.caches[*node].submit(ProcReq::Read { id, addr: *word });
+            }
+            Action::SubmitWrite { node, word, .. } => {
+                let id = self.next_id;
+                let value = self.next_value;
+                self.next_id += 1;
+                self.next_value += 1;
+                self.budget[*node] -= 1;
+                self.pending[*node] = Some(Pending::Write {
+                    id,
+                    word: *word,
+                    value,
+                });
+                self.caches[*node].submit(ProcReq::Write {
+                    id,
+                    addr: *word,
+                    value,
+                });
+            }
+            Action::Deliver { pool_idx, .. } => {
+                let o = self.pool.swap_remove(*pool_idx);
+                self.route(o, mutant);
+            }
+            Action::Serialize { node, .. } => {
+                let req = self.addr_queues[*node]
+                    .pop_front()
+                    .expect("serialize only enabled with a queued request");
+                let order = self.next_order;
+                self.next_order += 1;
+                for cache in &mut self.caches {
+                    cache.deliver_snoop(order, req);
+                }
+                self.home.deliver_snoop(order, req);
+            }
+        }
+        self.settle()?;
+        self.check_swmr()
+    }
+
+    /// Routes a pooled message to the home or a cache, applying the
+    /// seeded mutant at the network layer.
+    fn route(&mut self, o: Outbound, mutant: Mutant) {
+        let mut o = o;
+        match (&o.msg, mutant) {
+            (Msg::Inv { addr }, Mutant::SkipInvAck) => {
+                // Drop the invalidation; forge the ack the home expects.
+                let addr = *addr;
+                let from = o.dst;
+                self.pool.push(Outbound {
+                    dst: addr.home(self.caches.len()),
+                    msg: Msg::InvAck { from, addr },
+                });
+                return;
+            }
+            (Msg::DataS { .. } | Msg::DataM { .. }, Mutant::CorruptData) => {
+                if let Msg::DataS { data, .. } | Msg::DataM { data, .. } = &mut o.msg {
+                    // A high bit: store values are small integers, so the
+                    // corrupted word can never alias a real store.
+                    data.flip_bit(63);
+                }
+            }
+            _ => {}
+        }
+        if home_bound(&o.msg) {
+            self.home.deliver(o.msg);
+        } else {
+            self.caches[o.dst.index()].deliver(o.msg);
+        }
+    }
+
+    /// Whether the system still owes work: an op in flight or a
+    /// controller with internal queued state.
+    fn owes_work(&self) -> bool {
+        self.pending.iter().any(Option::is_some)
+            || !self.caches.iter().all(CacheNode::is_quiescent)
+            || !self.home.is_quiescent()
+            || !self.pool.is_empty()
+            || self.addr_queues.iter().any(|q| !q.is_empty())
+    }
+}
+
+/// Whether a message is consumed by the home controller (mirrors the
+/// cluster's dispatch rule).
+fn home_bound(msg: &Msg) -> bool {
+    matches!(
+        msg,
+        Msg::GetS { .. }
+            | Msg::GetM { .. }
+            | Msg::PutM { .. }
+            | Msg::InvAck { .. }
+            | Msg::RecallAck { .. }
+            | Msg::Unblock { .. }
+            | Msg::Epoch(_)
+    )
+}
+
+fn describe_outbound(o: &Outbound) -> String {
+    let kind = match &o.msg {
+        Msg::GetS { req, addr } => format!("GetS {addr:?} from cache{}", req.index()),
+        Msg::GetM { req, addr } => format!("GetM {addr:?} from cache{}", req.index()),
+        Msg::PutM { req, addr, .. } => format!("PutM {addr:?} from cache{}", req.index()),
+        Msg::Inv { addr } => format!("Inv {addr:?}"),
+        Msg::InvAck { from, addr } => format!("InvAck {addr:?} from cache{}", from.index()),
+        Msg::RecallShare { addr } => format!("RecallShare {addr:?}"),
+        Msg::RecallInv { addr } => format!("RecallInv {addr:?}"),
+        Msg::RecallAck { from, addr, .. } => {
+            format!("RecallAck {addr:?} from cache{}", from.index())
+        }
+        Msg::DataS { addr, .. } => format!("DataS {addr:?}"),
+        Msg::DataM { addr, .. } => format!("DataM {addr:?}"),
+        Msg::UpgradeAck { addr } => format!("UpgradeAck {addr:?}"),
+        Msg::Unblock { from, addr } => format!("Unblock {addr:?} from cache{}", from.index()),
+        Msg::PutAck { addr, stale } => format!("PutAck {addr:?} (stale={stale})"),
+        Msg::SnoopData { addr, exclusive, .. } => {
+            format!("SnoopData {addr:?} (exclusive={exclusive})")
+        }
+        Msg::Epoch(_) => "Epoch".to_string(),
+        Msg::Ber { .. } => "Ber".to_string(),
+    };
+    format!("{kind} -> node{}", o.dst.index())
+}
+
+/// FNV-1a over the token stream with two seeds, giving 128 fingerprint
+/// bits.
+fn fnv128(tokens: &[u64]) -> u128 {
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut b: u64 = 0x6c62_272e_07bb_0142;
+    for &t in tokens {
+        for byte in t.to_le_bytes() {
+            a = (a ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+            b = (b ^ u64::from(byte)).wrapping_mul(0x3f2_9ce4_8422_2325 | 1);
+        }
+    }
+    (u128::from(a) << 64) | u128::from(b)
+}
+
+/// Exhaustively explores every reachable state of `cfg` by BFS,
+/// checking the protocol invariants at each state.
+pub fn explore(cfg: &ExploreConfig) -> ExploreOutcome {
+    let initial = State::initial(cfg);
+    let root_fp = initial.fingerprint();
+    // fingerprint -> (parent fingerprint, action taken from parent)
+    let mut parents: HashMap<u128, Option<(u128, String)>> = HashMap::new();
+    parents.insert(root_fp, None);
+    let mut frontier: VecDeque<(u128, State)> = VecDeque::new();
+    frontier.push_back((root_fp, initial));
+    let mut states = 1usize;
+    let mut transitions = 0usize;
+    let mut hit_limit = false;
+
+    while let Some((fp, state)) = frontier.pop_front() {
+        let actions = state.enabled_actions();
+        if actions.is_empty() {
+            if state.owes_work() {
+                let defect = Defect::Deadlock {
+                    detail: format!(
+                        "no enabled transition, but work remains \
+                         (pending={:?}, home quiescent={}, caches: {})",
+                        state.pending,
+                        state.home.is_quiescent(),
+                        state
+                            .caches
+                            .iter()
+                            .map(dvmc_coherence::CacheNode::dump)
+                            .collect::<Vec<_>>()
+                            .join(" | "),
+                    ),
+                };
+                return ExploreOutcome {
+                    states,
+                    transitions,
+                    hit_limit,
+                    violation: Some((defect, trace(&parents, fp, None))),
+                };
+            }
+            continue;
+        }
+        for action in actions {
+            transitions += 1;
+            let mut next = state.clone();
+            let applied = panic::catch_unwind(AssertUnwindSafe(|| {
+                next.apply(&action, cfg.mutant).map(|()| next)
+            }));
+            let result = match applied {
+                Ok(r) => r,
+                Err(payload) => Err(Defect::Unhandled {
+                    message: panic_text(&payload),
+                }),
+            };
+            match result {
+                Ok(next) => {
+                    let next_fp = next.fingerprint();
+                    if parents.contains_key(&next_fp) {
+                        continue;
+                    }
+                    parents.insert(next_fp, Some((fp, action.to_string())));
+                    states += 1;
+                    if states >= cfg.max_states {
+                        hit_limit = true;
+                        break;
+                    }
+                    frontier.push_back((next_fp, next));
+                }
+                Err(defect) => {
+                    return ExploreOutcome {
+                        states,
+                        transitions,
+                        hit_limit,
+                        violation: Some((defect, trace(&parents, fp, Some(action.to_string())))),
+                    };
+                }
+            }
+        }
+        if hit_limit {
+            break;
+        }
+    }
+    ExploreOutcome {
+        states,
+        transitions,
+        hit_limit,
+        violation: None,
+    }
+}
+
+/// Reconstructs the action trace from the initial state to `fp`,
+/// optionally appending the final (violating) action.
+fn trace(
+    parents: &HashMap<u128, Option<(u128, String)>>,
+    mut fp: u128,
+    last: Option<String>,
+) -> Vec<String> {
+    let mut steps = Vec::new();
+    while let Some(Some((parent, action))) = parents.get(&fp) {
+        steps.push(action.clone());
+        fp = *parent;
+    }
+    steps.reverse();
+    if let Some(a) = last {
+        steps.push(a);
+    }
+    steps
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "controller panicked (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(protocol: Protocol) -> ExploreConfig {
+        ExploreConfig {
+            protocol,
+            caches: 2,
+            blocks: 1,
+            ops_per_cache: 1,
+            l2_bytes: 256,
+            max_states: 50_000,
+            mutant: Mutant::None,
+        }
+    }
+
+    #[test]
+    fn directory_2x1_is_clean() {
+        let out = explore(&small(Protocol::Directory));
+        assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        assert!(!out.hit_limit);
+        assert!(out.states > 10, "trivially small graph: {}", out.states);
+    }
+
+    #[test]
+    fn snooping_2x1_is_clean() {
+        let out = explore(&small(Protocol::Snooping));
+        assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        assert!(!out.hit_limit);
+        assert!(out.states > 10, "trivially small graph: {}", out.states);
+    }
+
+    #[test]
+    fn skipped_invalidation_breaks_swmr() {
+        let cfg = ExploreConfig {
+            mutant: Mutant::SkipInvAck,
+            ..ExploreConfig::directory_evicting()
+        };
+        let out = explore(&cfg);
+        let (defect, steps) = out.violation.expect("mutant must be caught");
+        assert!(
+            matches!(defect, Defect::Swmr { .. }),
+            "expected SWMR defect, got {defect}"
+        );
+        assert!(!steps.is_empty(), "counterexample trace must be non-empty");
+    }
+
+    #[test]
+    fn corrupted_data_breaks_value_integrity() {
+        let cfg = ExploreConfig {
+            mutant: Mutant::CorruptData,
+            ..ExploreConfig::directory_evicting()
+        };
+        let out = explore(&cfg);
+        let (defect, _) = out.violation.expect("mutant must be caught");
+        assert!(
+            matches!(defect, Defect::DataIntegrity { .. } | Defect::Swmr { .. }),
+            "expected an integrity defect, got {defect}"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Static verification for the DVMC workspace.
+//!
+//! Two passes, both pure functions over existing workspace artifacts:
+//!
+//! - [`explorer`]: an exhaustive BFS model checker over small coherence
+//!   configurations (2–3 caches, one home, 1–2 blocks), driving the real
+//!   `CacheNode`/`HomeCtrl` step functions and asserting SWMR, data-value
+//!   integrity against a golden memory model, deadlock-freedom, and
+//!   absence of unhandled (state, message) combinations (surfaced as
+//!   controller panics).
+//! - [`tablelint`]: well-formedness checks over the SC/TSO/PSO/RMO
+//!   ordering tables — strength hierarchy, membar mask placement, membar
+//!   self-ordering, and agreement with the `Model` predicate helpers.
+//!
+//! The CLI (`dvmc-analyzer --all`) runs both and exits non-zero with a
+//! printed counterexample on any failure, making this the standing static
+//! gate alongside the dynamic checkers.
+
+pub mod explorer;
+pub mod tablelint;
+
+pub use explorer::{explore, ExploreConfig, ExploreOutcome, Mutant};
+pub use tablelint::{lint_all_models, lint_table, LintError};

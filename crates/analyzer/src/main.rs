@@ -1,0 +1,170 @@
+//! `dvmc-analyzer` — static verification gate for the DVMC workspace.
+//!
+//! ```text
+//! dvmc-analyzer --all                  run every pass (the CI gate)
+//! dvmc-analyzer --tables               ordering-table lint only
+//! dvmc-analyzer --protocol             protocol model checking only
+//! dvmc-analyzer --mutant skip-inv      seed a defect; exit 0 iff caught
+//! dvmc-analyzer --mutant corrupt-data
+//! ```
+//!
+//! Exits non-zero (printing a counterexample) on any finding.
+
+use dvmc_analyzer::{explore, lint_all_models, ExploreConfig, ExploreOutcome, Mutant};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut run_tables = false;
+    let mut run_protocol = false;
+    let mut mutant: Option<Mutant> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => {
+                run_tables = true;
+                run_protocol = true;
+            }
+            "--tables" => run_tables = true,
+            "--protocol" => run_protocol = true,
+            "--mutant" => {
+                let Some(name) = it.next() else {
+                    eprintln!("--mutant requires a name (skip-inv | corrupt-data)");
+                    return ExitCode::from(2);
+                };
+                match Mutant::parse(name) {
+                    Some(m) => mutant = Some(m),
+                    None => {
+                        eprintln!("unknown mutant {name:?} (skip-inv | corrupt-data)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                print_usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(m) = mutant {
+        return run_mutant(m);
+    }
+    if !run_tables && !run_protocol {
+        print_usage();
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    if run_tables {
+        failed |= !tables_pass();
+    }
+    if run_protocol {
+        failed |= !protocol_pass();
+    }
+    if failed {
+        eprintln!("\ndvmc-analyzer: FAIL");
+        ExitCode::FAILURE
+    } else {
+        println!("\ndvmc-analyzer: all passes clean");
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: dvmc-analyzer [--all] [--tables] [--protocol] [--mutant skip-inv|corrupt-data]"
+    );
+}
+
+/// Ordering-table linter pass. Returns true if clean.
+fn tables_pass() -> bool {
+    println!("== pass 1: ordering-table lint ==");
+    let errors = lint_all_models();
+    if errors.is_empty() {
+        println!("   all models clean (structure, hierarchy, predicates)");
+        true
+    } else {
+        for e in &errors {
+            eprintln!("   ERROR: {e}");
+        }
+        eprintln!("   {} ordering-table finding(s)", errors.len());
+        false
+    }
+}
+
+/// Protocol model-checking pass over the small-configuration suite.
+/// Returns true if every configuration is clean.
+fn protocol_pass() -> bool {
+    println!("== pass 2: protocol model checking ==");
+    let suite: [(&str, ExploreConfig); 3] = [
+        ("directory 3 caches x 2 blocks", ExploreConfig::directory_3x2()),
+        (
+            "directory 2 caches x 2 blocks, evicting L2",
+            ExploreConfig::directory_evicting(),
+        ),
+        ("snooping 2 caches x 2 blocks", ExploreConfig::snooping_2x2()),
+    ];
+    let mut ok = true;
+    for (name, cfg) in suite {
+        println!("   exploring {name} ...");
+        let out = explore(&cfg);
+        report(name, &out);
+        ok &= out.violation.is_none();
+    }
+    ok
+}
+
+fn report(name: &str, out: &ExploreOutcome) {
+    println!(
+        "   {name}: {} distinct states, {} transitions{}",
+        out.states,
+        out.transitions,
+        if out.hit_limit {
+            " (state budget reached)"
+        } else {
+            " (exhaustive)"
+        }
+    );
+    if let Some((defect, steps)) = &out.violation {
+        eprintln!("   VIOLATION: {defect}");
+        eprintln!("   counterexample ({} steps):", steps.len());
+        for (i, step) in steps.iter().enumerate() {
+            eprintln!("     {:>3}. {step}", i + 1);
+        }
+    }
+}
+
+/// Negative test: seed the named defect and require the checker to
+/// catch it. Exits 0 iff a violation is found.
+fn run_mutant(m: Mutant) -> ExitCode {
+    let base = match m {
+        Mutant::None => ExploreConfig::directory_3x2(),
+        Mutant::SkipInvAck | Mutant::CorruptData => ExploreConfig::directory_evicting(),
+    };
+    let cfg = ExploreConfig { mutant: m, ..base };
+    println!("== mutant run: {m:?} on {:?} ==", cfg.protocol);
+    let out = explore(&cfg);
+    report("mutant configuration", &out);
+    match (m, &out.violation) {
+        (Mutant::None, None) => {
+            println!("clean protocol, no violation (as expected)");
+            ExitCode::SUCCESS
+        }
+        (Mutant::None, Some(_)) => ExitCode::FAILURE,
+        (_, Some(_)) => {
+            println!("mutant caught (as expected)");
+            ExitCode::SUCCESS
+        }
+        (_, None) => {
+            eprintln!("mutant NOT caught — checker is too weak");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -30,7 +30,7 @@ fn bench_reorder_checker(c: &mut Criterion) {
                     chk
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();
@@ -52,7 +52,7 @@ fn bench_uniproc_replay(c: &mut Criterion) {
                 chk
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -87,7 +87,7 @@ fn bench_met_processing(c: &mut Criterion) {
                 met
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("sorter_push_drain", |b| {
         b.iter_batched(
@@ -109,7 +109,7 @@ fn bench_met_processing(c: &mut Criterion) {
                 q.flush()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

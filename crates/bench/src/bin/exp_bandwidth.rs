@@ -9,7 +9,7 @@ use dvmc_bench::{print_table, run_spec, ExpOpts, RunSpec};
 use dvmc_sim::{Protection, RunReport};
 
 fn max_link_bw(reports: &[RunReport]) -> f64 {
-    let xs: Vec<f64> = reports.iter().map(|r| r.max_link_bandwidth()).collect();
+    let xs: Vec<f64> = reports.iter().map(dvmc_sim::RunReport::max_link_bandwidth).collect();
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 

@@ -25,7 +25,7 @@ fn main() {
         Protection::FULL,
     ];
     let header: Vec<&str> = std::iter::once("workload")
-        .chain(configs.iter().map(|p| p.label()))
+        .chain(configs.iter().map(dvmc_sim::Protection::label))
         .collect();
 
     let mut rows = Vec::new();

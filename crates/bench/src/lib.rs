@@ -200,7 +200,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         }
         line
     };
-    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let head: Vec<String> = header.iter().map(std::string::ToString::to_string).collect();
     println!("{}", fmt_row(&head));
     println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
     for row in rows {

@@ -150,7 +150,7 @@ impl SafetyNet {
 
     /// The oldest held checkpoint's creation time.
     pub fn oldest_checkpoint(&self) -> Cycle {
-        self.checkpoints.front().map(|c| c.taken_at).unwrap_or(0)
+        self.checkpoints.front().map_or(0, |c| c.taken_at)
     }
 }
 

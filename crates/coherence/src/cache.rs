@@ -146,7 +146,7 @@ impl<S> CacheArray<S> {
         // Evict the least recently used way.
         let victim_idx = range
             .clone()
-            .min_by_key(|&i| self.lines[i].as_ref().map(|l| l.last_used).unwrap_or(0))
+            .min_by_key(|&i| self.lines[i].as_ref().map_or(0, |l| l.last_used))
             .expect("non-empty set range");
         self.lines[victim_idx].replace(new_line)
     }

@@ -43,7 +43,7 @@ struct DirEntry {
     sharers: u64,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 enum TxnKind {
     GetS,
     GetM,
@@ -53,7 +53,7 @@ enum TxnKind {
     AwaitUnblock,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Txn {
     kind: TxnKind,
     requester: NodeId,
@@ -91,6 +91,7 @@ pub struct HomeStats {
 }
 
 /// One node's home memory controller.
+#[derive(Clone)]
 pub struct HomeCtrl {
     id: NodeId,
     cfg: HomeConfig,
@@ -221,6 +222,126 @@ impl HomeCtrl {
             && self.out_delayed.is_empty()
             && self.blocked.values().all(VecDeque::is_empty)
             && self.awaiting_wb.is_empty()
+    }
+
+    /// Appends a canonical, deterministic digest of all protocol-relevant
+    /// home state (memory, directory, transactions, queues) for the
+    /// static analyzer's state-graph fingerprinting. Wall-clock time,
+    /// statistics, fault-targeting rings, and checker internals are
+    /// excluded; the analyzer runs with zero latencies and verification
+    /// off, so none of those affect behavior.
+    pub fn probe_digest(&self, out: &mut Vec<u64>) {
+        use crate::probe::{encode_addr_req, encode_msg, snoop_kind_code};
+        out.extend([0x803E, self.id.index() as u64, self.last_order]);
+
+        let mut mem: Vec<(&BlockAddr, &MemBlock)> = self.memory.iter().collect();
+        mem.sort_by_key(|(a, _)| **a);
+        out.push(mem.len() as u64);
+        for (addr, m) in mem {
+            out.extend([addr.0, u64::from(m.ecc)]);
+            out.extend_from_slice(m.data.words());
+        }
+
+        let mut dir: Vec<(&BlockAddr, &DirEntry)> = self.dir.iter().collect();
+        dir.sort_by_key(|(a, _)| **a);
+        out.push(dir.len() as u64);
+        for (addr, e) in dir {
+            out.extend([
+                addr.0,
+                e.owner.map_or(u64::MAX, |o| o.index() as u64),
+                e.sharers,
+            ]);
+        }
+
+        let mut busy: Vec<(&BlockAddr, &Txn)> = self.busy.iter().collect();
+        busy.sort_by_key(|(a, _)| **a);
+        out.push(busy.len() as u64);
+        for (addr, txn) in busy {
+            let kind = match txn.kind {
+                TxnKind::GetS => 1,
+                TxnKind::GetM => 2,
+                TxnKind::Upgrade => 3,
+                TxnKind::AwaitUnblock => 4,
+            };
+            out.extend([
+                addr.0,
+                kind,
+                txn.requester.index() as u64,
+                u64::from(txn.need_acks),
+                u64::from(txn.need_data),
+            ]);
+            match &txn.data {
+                Some(d) => {
+                    out.push(1);
+                    out.extend_from_slice(d.words());
+                }
+                None => out.push(0),
+            }
+        }
+
+        let mut blocked: Vec<(&BlockAddr, &VecDeque<Msg>)> = self.blocked.iter().collect();
+        blocked.sort_by_key(|(a, _)| **a);
+        out.push(blocked.len() as u64);
+        for (addr, q) in blocked {
+            out.extend([addr.0, q.len() as u64]);
+            for msg in q {
+                encode_msg(msg, out);
+            }
+        }
+
+        let mut owners: Vec<(&BlockAddr, &NodeId)> = self.snoop_owner.iter().collect();
+        owners.sort_by_key(|(a, _)| **a);
+        out.push(owners.len() as u64);
+        for (addr, o) in owners {
+            out.extend([addr.0, o.index() as u64]);
+        }
+
+        let mut wb: Vec<BlockAddr> = self.awaiting_wb.iter().copied().collect();
+        wb.sort_unstable();
+        out.push(wb.len() as u64);
+        out.extend(wb.iter().map(|a| a.0));
+
+        let mut deferred: Vec<_> = self.deferred.iter().collect();
+        deferred.sort_by_key(|(a, _): &(&BlockAddr, _)| **a);
+        out.push(deferred.len() as u64);
+        for (addr, q) in deferred {
+            out.extend([addr.0, q.len() as u64]);
+            for (to, kind, order) in q {
+                out.extend([to.index() as u64, snoop_kind_code(*kind), *order]);
+            }
+        }
+
+        // Delayed sends, as a sorted multiset (release times excluded:
+        // the analyzer runs with zero memory latency).
+        let mut delayed: Vec<Vec<u64>> = self
+            .out_delayed
+            .iter()
+            .map(|(_, o)| {
+                let mut enc = vec![o.dst.index() as u64];
+                encode_msg(&o.msg, &mut enc);
+                enc
+            })
+            .collect();
+        delayed.sort();
+        out.push(delayed.len() as u64);
+        for enc in delayed {
+            out.extend(enc);
+        }
+
+        out.push(self.inbox.len() as u64);
+        for msg in &self.inbox {
+            encode_msg(msg, out);
+        }
+        out.push(self.msg_out.len() as u64);
+        for o in &self.msg_out {
+            out.push(o.dst.index() as u64);
+            encode_msg(&o.msg, out);
+        }
+        out.push(self.snoop_in.len() as u64);
+        for (order, req) in &self.snoop_in {
+            out.push(*order);
+            encode_addr_req(req, out);
+        }
     }
 
     /// Fault injection: flips a bit of a recently read memory block
@@ -511,9 +632,13 @@ impl HomeCtrl {
                 let n_acks = others.count_ones();
                 match entry.owner {
                     Some(owner) if owner == req => {
-                        // O -> M upgrade: invalidate other sharers only.
+                        // O -> M upgrade: invalidate other sharers only. The
+                        // upgrader is tracked as the owner alone — listing it
+                        // as a sharer too would make a later GetM send it an
+                        // Inv alongside the RecallInv, destroying the M copy
+                        // before its data can be recalled.
                         if n_acks == 0 {
-                            entry.sharers = 1 << req.index();
+                            entry.sharers = 0;
                             // No memory involvement: grant directly.
                             self.send(req, Msg::UpgradeAck { addr });
                             self.await_unblock(addr, req);
@@ -659,7 +784,8 @@ impl HomeCtrl {
                 }
             }
             TxnKind::Upgrade => {
-                entry.sharers = 1 << requester.index();
+                // Owner alone, not owner + sharer (see start_request).
+                entry.sharers = 0;
                 self.send(requester, Msg::UpgradeAck { addr });
             }
             TxnKind::AwaitUnblock => unreachable!("unblock handled separately"),

@@ -24,6 +24,7 @@ pub mod cluster;
 pub mod home;
 pub mod msg;
 pub mod node;
+pub mod probe;
 pub mod proc;
 
 pub use cache::{CacheArray, Line, Mosi};

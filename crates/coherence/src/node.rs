@@ -65,7 +65,7 @@ impl Default for NodeConfig {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Mshr {
     waiting: Vec<ProcReq>,
     /// Whether the in-flight request is a GetM.
@@ -89,13 +89,14 @@ struct Mshr {
     stashed_order: u64,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct EvictBuf {
     data: Block,
     state: Mosi,
 }
 
 /// The per-node cache controller.
+#[derive(Clone)]
 pub struct CacheNode {
     id: NodeId,
     cfg: NodeConfig,
@@ -238,50 +239,168 @@ impl CacheNode {
             && self.addr_out.is_empty()
     }
 
+    /// The L2-resident blocks and their MOSI states, sorted by address —
+    /// the observable the analyzer's SWMR invariant quantifies over.
+    pub fn probe_l2_states(&self) -> Vec<(BlockAddr, Mosi)> {
+        let mut v: Vec<(BlockAddr, Mosi)> = self.l2.iter().map(|l| (l.addr, l.state)).collect();
+        v.sort_by_key(|&(a, _)| a);
+        v
+    }
+
+    /// The blocks sitting in the eviction (writeback) buffer, sorted.
+    pub fn probe_evicting(&self) -> Vec<(BlockAddr, Mosi)> {
+        let mut v: Vec<(BlockAddr, Mosi)> = self
+            .evicting
+            .iter()
+            .map(|(a, b)| (*a, b.state))
+            .collect();
+        v.sort_by_key(|&(a, _)| a);
+        v
+    }
+
+    /// Appends a canonical, deterministic digest of all protocol-relevant
+    /// controller state (caches, MSHRs, buffers, queues) for the static
+    /// analyzer's state-graph fingerprinting. Wall-clock time, statistics,
+    /// and checker internals are excluded; the analyzer runs with zero
+    /// latencies and verification off, so none of those affect behavior.
+    pub fn probe_digest(&self, out: &mut Vec<u64>) {
+        use crate::probe::{encode_addr_req, encode_msg, encode_proc_req, mosi_code, snoop_kind_code};
+        out.extend([0xD16E57, self.id.index() as u64, self.last_order]);
+
+        let mut lines: Vec<&Line<Mosi>> = self.l2.iter().collect();
+        lines.sort_by_key(|l| l.addr);
+        out.push(lines.len() as u64);
+        for l in lines {
+            out.extend([l.addr.0, mosi_code(l.state), u64::from(l.ecc)]);
+            out.extend_from_slice(l.data.words());
+        }
+
+        let mut l1_addrs: Vec<BlockAddr> = self.l1.iter().map(|l| l.addr).collect();
+        l1_addrs.sort_unstable();
+        out.push(l1_addrs.len() as u64);
+        out.extend(l1_addrs.iter().map(|a| a.0));
+
+        let mut mshrs: Vec<(&BlockAddr, &Mshr)> = self.mshrs.iter().collect();
+        mshrs.sort_by_key(|(a, _)| **a);
+        out.push(mshrs.len() as u64);
+        for (addr, m) in mshrs {
+            out.extend([
+                addr.0,
+                u64::from(m.exclusive),
+                u64::from(m.observed),
+                u64::from(m.deferred),
+                m.order,
+                m.stashed_order,
+            ]);
+            match &m.stashed {
+                Some((data, state)) => {
+                    out.extend([1, mosi_code(*state)]);
+                    out.extend_from_slice(data.words());
+                }
+                None => out.push(0),
+            }
+            out.push(m.obligations.len() as u64);
+            for (kind, node, order) in &m.obligations {
+                out.extend([snoop_kind_code(*kind), node.index() as u64, *order]);
+            }
+            out.push(m.waiting.len() as u64);
+            for req in &m.waiting {
+                encode_proc_req(req, out);
+            }
+        }
+
+        let mut evicting: Vec<(&BlockAddr, &EvictBuf)> = self.evicting.iter().collect();
+        evicting.sort_by_key(|(a, _)| **a);
+        out.push(evicting.len() as u64);
+        for (addr, buf) in evicting {
+            out.extend([addr.0, mosi_code(buf.state)]);
+            out.extend_from_slice(buf.data.words());
+        }
+
+        out.push(self.proc_in.len() as u64);
+        for (_, req) in &self.proc_in {
+            encode_proc_req(req, out);
+        }
+        out.push(self.resp_out.len() as u64);
+        for (_, resp) in &self.resp_out {
+            out.extend([resp.id, resp.value]);
+        }
+        out.push(self.inbox.len() as u64);
+        for msg in &self.inbox {
+            encode_msg(msg, out);
+        }
+        out.push(self.msg_out.len() as u64);
+        for o in &self.msg_out {
+            out.push(o.dst.index() as u64);
+            encode_msg(&o.msg, out);
+        }
+        out.push(self.addr_out.len() as u64);
+        for req in &self.addr_out {
+            encode_addr_req(req, out);
+        }
+        out.push(self.snoop_in.len() as u64);
+        for (order, req) in &self.snoop_in {
+            out.push(*order);
+            encode_addr_req(req, out);
+        }
+    }
+
     /// Fault injection: flips a data bit in a resident L2 line without
-    /// updating ECC. Targets the most-recently-used *shared* line whose
-    /// block is not shadowed by a clean L1 copy — live, actively read
-    /// state whose ECC is not about to be re-encoded by a store — so the
-    /// error manifests the way the paper's hot-working-set injections do.
-    /// Returns the corrupted block.
-    pub fn corrupt_l2(&mut self, _idx: usize, bit: usize) -> Option<BlockAddr> {
-        let candidate = self
+    /// updating ECC. `idx` selects (modulo the candidate count, in
+    /// recency order) among *shared* lines whose block is not shadowed by
+    /// a clean L1 copy — live, actively read state whose ECC is not about
+    /// to be re-encoded by a store — so the error manifests the way the
+    /// paper's hot-working-set injections do. Falls back to the MRU S/O
+    /// line, then to the overall MRU line, when no unshadowed candidate
+    /// exists. Returns the corrupted block.
+    pub fn corrupt_l2(&mut self, idx: usize, bit: usize) -> Option<BlockAddr> {
+        let candidates: Vec<BlockAddr> = self
             .l2
             .addrs_by_recency()
             .into_iter()
-            .find(|a| {
+            .filter(|a| {
                 self.l1.peek(*a).is_none()
                     && self
                         .l2
                         .peek(*a)
                         .is_some_and(|l| matches!(l.state, Mosi::S | Mosi::O))
-            });
-        match candidate {
-            Some(addr) => {
-                self.l2.corrupt_addr(addr, bit);
-                Some(addr)
-            }
-            None => self
-                .l2
-                .corrupt_mru_line_where(bit, |s| matches!(s, Mosi::S | Mosi::O)),
+            })
+            .collect();
+        if !candidates.is_empty() {
+            let addr = candidates[idx % candidates.len()];
+            self.l2.corrupt_addr(addr, bit);
+            return Some(addr);
         }
+        self.l2
+            .corrupt_mru_line_where(bit, |s| matches!(s, Mosi::S | Mosi::O))
     }
 
     /// Fault injection: silently upgrades a Shared line to Modified
     /// without a GetM — a cache-controller state error that breaks SWMR.
-    /// Returns whether a line was found.
+    /// The faulted "decision" is the one a real controller gets wrong:
+    /// a store is queued against a Shared line, and instead of issuing
+    /// the GetM upgrade the controller proceeds as if ownership were
+    /// already granted. Targeting a store-bound line makes the error
+    /// manifest (the paper injects manifest errors); with no such store
+    /// queued the injection does not take and the caller retries.
+    /// `idx` breaks ties among several store-bound candidates. Returns
+    /// the upgraded block.
     pub fn corrupt_upgrade(&mut self, idx: usize) -> Option<BlockAddr> {
         let target = {
-            let shared: Vec<BlockAddr> = self
-                .l2
+            let candidates: Vec<BlockAddr> = self
+                .proc_in
                 .iter()
-                .filter(|l| l.state == Mosi::S)
-                .map(|l| l.addr)
+                .filter(|(_, r)| r.is_write())
+                .map(|(_, r)| r.addr().block())
+                .filter(|b| {
+                    !self.mshrs.contains_key(b)
+                        && self.l2.peek(*b).is_some_and(|l| l.state == Mosi::S)
+                })
                 .collect();
-            if shared.is_empty() {
+            if candidates.is_empty() {
                 return None;
             }
-            shared[idx % shared.len()]
+            candidates[idx % candidates.len()]
         };
         if let Some(line) = self.l2.lookup_mut(target) {
             line.state = Mosi::M;

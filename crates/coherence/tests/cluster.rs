@@ -309,10 +309,25 @@ fn bogus_local_upgrade_detected_by_cet() {
         let mut c = cluster(p);
         c.poke_word(WordAddr(100), 5);
         assert_eq!(read(&mut c, 0, 100), 5); // node 0 holds S
+        // Queue the store, then fault the controller's upgrade decision:
+        // the line silently flips S -> M instead of issuing a GetM, and
+        // the store performs outside a Read-Write epoch.
+        c.submit(
+            NodeId(0),
+            ProcReq::Write {
+                id: 0,
+                addr: WordAddr(100),
+                value: 6,
+            },
+        );
         let addr = c.node_mut(NodeId(0)).corrupt_upgrade(0);
         assert!(addr.is_some());
-        // A store to the bogus M line performs outside a Read-Write epoch.
-        write(&mut c, 0, 100, 6);
+        for _ in 0..10_000 {
+            c.tick();
+            if c.pop_resp(NodeId(0)).is_some() {
+                break;
+            }
+        }
         let violations = c.drain_violations();
         assert!(
             violations.iter().any(|v| matches!(

@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn coverage_list_matches_categories() {
         let faults = all_faults(NodeId(0), NodeId(1));
-        let cats: std::collections::HashSet<_> = faults.iter().map(|f| f.category()).collect();
+        let cats: std::collections::HashSet<_> = faults.iter().map(super::Fault::category).collect();
         assert_eq!(cats.len(), faults.len(), "one entry per category");
     }
 }

@@ -248,7 +248,7 @@ impl Core {
 
     /// Replay statistics from the Uniprocessor Ordering checker.
     pub fn replay_stats(&self) -> dvmc_core::UniprocStats {
-        self.uniproc.as_ref().map(|u| u.stats()).unwrap_or_default()
+        self.uniproc.as_ref().map(dvmc_core::UniprocChecker::stats).unwrap_or_default()
     }
 
     /// Transactions completed by the program.
@@ -387,7 +387,7 @@ impl Core {
         let speculative_loads = self.cfg.model.loads_ordered();
         // Mark committed (or RMO-performed, possibly still in-flight)
         // loads whose replay is pending.
-        for e in self.rob.iter_mut() {
+        for e in &mut self.rob {
             if e.class == OpClass::Load
                 && matches!(e.state, EState::Executed | EState::Issued)
                 && (e.committed || !speculative_loads)

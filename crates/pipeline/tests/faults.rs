@@ -81,7 +81,7 @@ fn wb_drop_is_caught_by_an_injected_membar() {
     // lost store.
     let script: Vec<Instr> = (0..6).map(|i| Instr::store(8 * i, i)).collect();
     let mut core = core_with(script, Model::Tso);
-    let (injected, violation) = drive(&mut core, 2_000, 14, |c| c.inject_wb_drop());
+    let (injected, violation) = drive(&mut core, 2_000, 14, dvmc_pipeline::Core::inject_wb_drop);
     assert!(injected, "an un-issued WB entry must exist at cycle 14");
     let v = violation.expect("lost store detected");
     assert!(matches!(v, Violation::LostOp(_)), "{v}");

@@ -248,8 +248,7 @@ impl System {
                 let recoverable = self
                     .ber
                     .as_ref()
-                    .map(|b| b.recoverable(injected_at, now))
-                    .unwrap_or(false);
+                    .is_some_and(|b| b.recoverable(injected_at, now));
                 Some(Detection {
                     fault: plan.fault,
                     injected_at,

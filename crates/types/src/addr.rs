@@ -179,7 +179,7 @@ impl fmt::Debug for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Block[{:#x}", self.words[0])?;
         for w in &self.words[1..] {
-            write!(f, ", {:#x}", w)?;
+            write!(f, ", {w:#x}")?;
         }
         write!(f, "]")
     }

@@ -51,10 +51,40 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Bit-at-a-time reference implementation (no table), for
+    /// cross-checking the table-driven one.
+    fn crc16_bitwise(data: &[u8]) -> u16 {
+        let mut crc = INIT;
+        for &b in data {
+            crc ^= u16::from(b) << 8;
+            for _ in 0..8 {
+                crc = if crc & 0x8000 != 0 {
+                    (crc << 1) ^ POLY
+                } else {
+                    crc << 1
+                };
+            }
+        }
+        crc
+    }
+
     #[test]
     fn known_check_value() {
         // The standard check value for CRC-16/CCITT-FALSE.
         assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn known_answer_vectors() {
+        // Fixed vectors, each confirmed by the independent bitwise
+        // implementation so the table and the parameterization are both
+        // pinned.
+        let vectors: [&[u8]; 5] = [b"", b"A", b"abc", &[0x00; 64], &[0xFF; 64]];
+        for v in vectors {
+            assert_eq!(crc16(v), crc16_bitwise(v), "vector {v:?}");
+        }
+        assert_eq!(crc16(b"A"), crc16_bitwise(b"A"));
+        assert_eq!(crc16(&[0u8; 64]), crc16_bitwise(&[0u8; 64]));
     }
 
     #[test]
@@ -77,6 +107,18 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn detects_single_bit_flips_on_random_blocks(
+            data in proptest::collection::vec(any::<u8>(), 64),
+            bit in 0usize..512,
+        ) {
+            // The paper's no-false-negative guarantee for < 16 erroneous
+            // bits, on arbitrary block contents rather than a fixed base.
+            let mut corrupted = data.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            prop_assert_ne!(crc16(&corrupted), crc16(&data));
+        }
+
         #[test]
         fn detects_double_bit_flips(data in proptest::collection::vec(any::<u8>(), 64),
                                     a in 0usize..512, b in 0usize..512) {

@@ -258,9 +258,26 @@ mod tests {
 
     #[test]
     fn different_threads_get_different_streams() {
+        // Drive each stream as a trivial machine that grants every lock
+        // immediately, so the comparison covers transaction bodies
+        // (addresses, values, access mixes). The undriven prefix is just
+        // one lock-poll load, whose address carries only log2(locks) bits
+        // — two decorrelated threads can legitimately collide on it.
         let mut streams = build_streams(&params(WorkloadKind::Oltp));
-        let seq_a: Vec<String> = (0..20).map(|_| format!("{:?}", streams[0].next())).collect();
-        let seq_b: Vec<String> = (0..20).map(|_| format!("{:?}", streams[1].next())).collect();
+        let mut drive = |idx: usize| -> Vec<String> {
+            let s = &mut streams[idx];
+            let mut seq = Vec::new();
+            while seq.len() < 40 {
+                match s.next() {
+                    Fetch::AwaitLast => s.deliver(dvmc_types::SeqNum(0), 0),
+                    Fetch::Done => break,
+                    f => seq.push(format!("{f:?}")),
+                }
+            }
+            seq
+        };
+        let seq_a = drive(0);
+        let seq_b = drive(1);
         assert_ne!(seq_a, seq_b);
     }
 

@@ -109,7 +109,7 @@ fn perturbation_changes_timing_but_not_the_program() {
         for _ in 0..4000 {
             match s[0].next() {
                 Fetch::Instr(Instr::Mem { class, addr, .. }) => {
-                    mems.push((format!("{class}"), addr.0))
+                    mems.push((format!("{class}"), addr.0));
                 }
                 Fetch::Instr(Instr::Delay(d)) => delays.push(d),
                 Fetch::AwaitLast => s[0].deliver(SeqNum(0), 0),

@@ -1,0 +1,206 @@
+//! Offline stub of the subset of the `criterion` API used by this
+//! workspace's benches: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `criterion` to this path crate. It measures each routine with
+//! `std::time::Instant` over a fixed number of iterations and prints a
+//! mean per-iteration time — enough to keep `--all-targets` builds honest
+//! and give rough numbers, without real criterion's statistics.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Iterations measured per benchmark (`CRITERION_ITERS`, default 200).
+fn iters() -> u64 {
+    std::env::var("CRITERION_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Opaque value barrier, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How per-iteration setup output is batched (only the size tag matters
+/// here; every variant behaves like per-iteration setup).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = iters();
+        let start = Instant::now();
+        for _ in 0..n {
+            std_black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = n;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let n = iters();
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = n;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_secs_f64() * 1e9 / b.iters as f64
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / mean_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / mean_ns * 1e3 * 1e6 / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.1} ns/iter over {} iters{}",
+            self.name,
+            name.into(),
+            mean_ns,
+            b.iters,
+            rate
+        );
+        self
+    }
+
+    /// Ends the group (no-op; matches real criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(8));
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || (0u64..8).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke_group, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        std::env::set_var("CRITERION_ITERS", "3");
+        smoke_group();
+    }
+}
