@@ -1,0 +1,186 @@
+//! `dvmc-campaign` — the standalone front end of the parallel campaign
+//! runner: expands a named sweep into cells, fans them across `--jobs`
+//! workers, prints a per-tag summary, and writes the machine-readable
+//! `BENCH_campaign.json`.
+//!
+//! ```text
+//! dvmc-campaign --sweep=smoke --jobs=4 --out=results/BENCH_campaign.json
+//! ```
+//!
+//! Flags beyond the common `exp_*` set:
+//!
+//! * `--sweep=smoke|runtime|error-detection` — which grid to run
+//!   (default `smoke`)
+//! * `--out=PATH` — full JSON, cells + timing (default
+//!   `results/BENCH_campaign.json`)
+//! * `--canonical-out=PATH` — cells-only canonical JSON, byte-identical
+//!   across `--jobs` values (the CI smoke job diffs two of these)
+//!
+//! Per-cell seeds come from `dvmc_types::rng::campaign_cell_seed`, a
+//! SplitMix64 derivation of (base seed, cell index, trial) computed
+//! during serial expansion — worker count and completion order never
+//! influence them.
+
+use dvmc_bench::{print_table, Campaign, ExpOpts, RunSpec};
+use dvmc_consistency::Model;
+use dvmc_faults::random_plan;
+use dvmc_sim::{Protection, Protocol, SystemBuilder};
+use dvmc_types::rng::{campaign_cell_seed, det_rng};
+use dvmc_workloads::spec::WorkloadKind;
+use std::path::PathBuf;
+
+fn sweep_usage() -> ! {
+    eprintln!(
+        "usage: dvmc-campaign [--sweep=smoke|runtime|error-detection] [--out=PATH] \
+         [--canonical-out=PATH] [common exp_* flags]"
+    );
+    std::process::exit(2)
+}
+
+/// Queues `opts.runs` trials of `spec`, with per-trial perturbations
+/// derived from the cell index (decorrelated across the whole sweep).
+fn push_cells(campaign: &mut Campaign, opts: &ExpOpts, tag: String, spec: RunSpec) {
+    let cell = campaign.len() as u64;
+    for trial in 0..opts.runs {
+        let perturbation = campaign_cell_seed(opts.seed, cell, trial);
+        campaign.push(tag.clone(), trial, spec.config(opts.seed, perturbation), opts.max_cycles);
+    }
+}
+
+/// A fast sanity grid: two contrasting workloads, protected vs. not.
+fn smoke(opts: &ExpOpts) -> Campaign {
+    let mut campaign = Campaign::new();
+    for kind in [WorkloadKind::Jbb, WorkloadKind::Slash] {
+        for protection in [Protection::BASE, Protection::FULL] {
+            let mut spec = RunSpec::new(opts, kind);
+            spec.protection = protection;
+            push_cells(&mut campaign, opts, format!("{kind}/{}", protection.label()), spec);
+        }
+    }
+    campaign
+}
+
+/// The Figure 3/4 grid: workload × model × {Base, DVMC}.
+fn runtime(opts: &ExpOpts) -> Campaign {
+    let mut campaign = Campaign::new();
+    for kind in dvmc_bench::workloads() {
+        for model in [Model::Sc, Model::Tso, Model::Pso, Model::Rmo] {
+            for protection in [Protection::BASE, Protection::FULL] {
+                let mut spec = RunSpec::new(opts, kind);
+                spec.model = model;
+                spec.protection = protection;
+                push_cells(
+                    &mut campaign,
+                    opts,
+                    format!("{kind}/{model}/{}", protection.label()),
+                    spec,
+                );
+            }
+        }
+    }
+    campaign
+}
+
+/// The §6.1 random fault-injection grid: model × protocol × random plans.
+fn error_detection(opts: &ExpOpts) -> Campaign {
+    let mut campaign = Campaign::new();
+    for model in [Model::Sc, Model::Tso, Model::Pso, Model::Rmo] {
+        for protocol in [Protocol::Directory, Protocol::Snooping] {
+            let mut rng = det_rng(opts.seed ^ model as u64 ^ ((protocol as u64) << 8));
+            for t in 0..opts.runs.max(2) {
+                let plan = random_plan(&mut rng, opts.nodes, 10_000, 60_000);
+                let cfg = SystemBuilder::new()
+                    .nodes(opts.nodes)
+                    .model(model)
+                    .protocol(protocol)
+                    .workload(WorkloadKind::Oltp, u64::MAX / 2)
+                    .seed(opts.seed + t as u64)
+                    .fault(plan)
+                    .watchdog(100_000)
+                    .max_cycles(3_000_000)
+                    .into_config()
+                    .expect("valid trial config");
+                campaign.push(format!("{model}/{protocol:?}"), t, cfg, 3_000_000);
+            }
+        }
+    }
+    campaign
+}
+
+fn main() {
+    let mut sweep = String::from("smoke");
+    let mut out = PathBuf::from("results/BENCH_campaign.json");
+    let mut canonical_out: Option<PathBuf> = None;
+    let opts = ExpOpts::from_args_with(|key, value| match key {
+        "--sweep" => {
+            sweep = value.to_string();
+            true
+        }
+        "--out" => {
+            out = PathBuf::from(value);
+            true
+        }
+        "--canonical-out" => {
+            canonical_out = Some(PathBuf::from(value));
+            true
+        }
+        _ => false,
+    });
+
+    let campaign = match sweep.as_str() {
+        "smoke" => smoke(&opts),
+        "runtime" => runtime(&opts),
+        "error-detection" => error_detection(&opts),
+        _ => sweep_usage(),
+    };
+    println!(
+        "campaign: sweep={sweep}, {} cells, {} jobs, {} nodes, {} txns/thread, seed {}",
+        campaign.len(),
+        opts.jobs,
+        opts.nodes,
+        opts.txns,
+        opts.seed
+    );
+    let result = campaign.run(opts.jobs);
+
+    // Per-tag summary (submission order, deduplicated).
+    let mut tags: Vec<&str> = Vec::new();
+    for outcome in result.outcomes() {
+        if tags.last() != Some(&outcome.tag.as_str()) {
+            tags.push(&outcome.tag);
+        }
+    }
+    let rows: Vec<Vec<String>> = tags
+        .iter()
+        .map(|tag| {
+            let reports = result.reports(tag);
+            let mean_cycles =
+                reports.iter().map(|r| r.cycles as f64).sum::<f64>() / reports.len() as f64;
+            let detections = reports.iter().filter(|r| r.detection.is_some()).count();
+            vec![
+                (*tag).to_string(),
+                format!("{}", reports.len()),
+                format!("{mean_cycles:.0}"),
+                format!("{detections}"),
+            ]
+        })
+        .collect();
+    print_table("campaign summary", &["tag", "cells", "mean cycles", "detections"], &rows);
+    println!(
+        "\nwall {:.2}s, serial-equivalent {:.2}s, speedup {:.2}x on {} workers",
+        result.wall().as_secs_f64(),
+        result.serial_wall().as_secs_f64(),
+        result.speedup(),
+        result.jobs()
+    );
+
+    result.write_json(&out);
+    if let Some(path) = canonical_out {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&path, result.canonical_json())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("[campaign] wrote {} (canonical)", path.display());
+    }
+}

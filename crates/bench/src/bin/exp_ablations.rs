@@ -8,41 +8,85 @@
 //! 3. **Epoch-sorter capacity** (Table 6: 256): a tiny queue forces
 //!    premature processing of out-of-order informs.
 //!
-//! Each sweep reports the relevant cost/benefit pair.
+//! Each sweep reports the relevant cost/benefit pair. All three sweeps
+//! expand into one campaign and run together on the worker pool.
 
-use dvmc_bench::{fmt_pm, print_table, ExpOpts};
+use dvmc_bench::{fmt_pm, print_table, Campaign, ExpOpts};
 use dvmc_faults::{Fault, FaultPlan};
 use dvmc_sim::{mean_std, SystemBuilder};
 use dvmc_types::NodeId;
 use dvmc_workloads::spec::WorkloadKind;
 
+const VC_WORDS: [usize; 4] = [4, 8, 16, 32];
+const MEMBAR_PERIODS: [u64; 4] = [10_000, 50_000, 100_000, 400_000];
+const SORTER_CAPACITIES: [usize; 4] = [16, 64, 256, 1024];
+
 fn main() {
     let opts = ExpOpts::from_args();
 
-    // ----- 1. VC size vs commit stalls --------------------------------
-    // The VC must hold every committed-but-unperformed store (§4.1); the
-    // write buffer is 32 entries, so 32 words suffice by construction.
-    // Smaller VCs stall commit; we emulate by shrinking vc_words through
-    // the core config (exposed via a custom build below).
-    println!("Ablation 1 — verification cache size (oltp, TSO, {} nodes)", opts.nodes);
-    let mut rows = Vec::new();
-    for vc_words in [4usize, 8, 16, 32] {
-        let mut cycles = Vec::new();
-        let mut stalls = 0u64;
+    // Phase 1: expand all three sweeps into one campaign.
+    let mut campaign = Campaign::new();
+    for vc_words in VC_WORDS {
         for run in 0..opts.runs {
             let p = dvmc_types::rng::perturbation_seed(opts.seed, run);
-            let mut sys = SystemBuilder::new()
+            let cfg = SystemBuilder::new()
                 .nodes(opts.nodes)
                 .workload(WorkloadKind::Oltp, opts.txns)
                 .seed(opts.seed)
                 .perturbation(p)
                 .vc_words(vc_words)
-                .build();
-            let r = sys.run_to_completion(opts.max_cycles);
-            assert!(r.completed && r.violations.is_empty(), "{r:?}");
-            cycles.push(r.cycles as f64);
-            stalls += r.core_stats.iter().map(|s| s.vc_full_stalls).sum::<u64>();
+                .into_config()
+                .expect("valid ablation config");
+            campaign.push(format!("vc/{vc_words}"), run, cfg, opts.max_cycles);
         }
+    }
+    for period in MEMBAR_PERIODS {
+        for run in 0..opts.runs {
+            let cfg = SystemBuilder::new()
+                .nodes(4)
+                .workload(WorkloadKind::Jbb, 1_000_000)
+                .seed(opts.seed + run as u64)
+                .membar_injection_period(period)
+                .fault(FaultPlan {
+                    at_cycle: 30_000,
+                    fault: Fault::WbDropStore { node: NodeId(1) },
+                })
+                .watchdog(2_000_000)
+                .max_cycles(4_000_000)
+                .into_config()
+                .expect("valid ablation config");
+            campaign.push(format!("membar/{period}"), run, cfg, 4_000_000);
+        }
+    }
+    for capacity in SORTER_CAPACITIES {
+        for run in 0..opts.runs {
+            let p = dvmc_types::rng::perturbation_seed(opts.seed, run);
+            let cfg = SystemBuilder::new()
+                .nodes(opts.nodes)
+                .workload(WorkloadKind::Oltp, opts.txns)
+                .seed(opts.seed)
+                .perturbation(p)
+                .sorter_capacity(capacity)
+                .into_config()
+                .expect("valid ablation config");
+            campaign.push(format!("sorter/{capacity}"), run, cfg, opts.max_cycles);
+        }
+    }
+    let result = campaign.run(opts.jobs);
+
+    // ----- 1. VC size vs commit stalls --------------------------------
+    // The VC must hold every committed-but-unperformed store (§4.1); the
+    // write buffer is 32 entries, so 32 words suffice by construction.
+    // Smaller VCs stall commit.
+    println!("Ablation 1 — verification cache size (oltp, TSO, {} nodes)", opts.nodes);
+    let mut rows = Vec::new();
+    for vc_words in VC_WORDS {
+        let reports = result.expect_clean(&format!("vc/{vc_words}"));
+        let cycles: Vec<f64> = reports.iter().map(|r| r.cycles as f64).collect();
+        let stalls: u64 = reports
+            .iter()
+            .map(|r| r.core_stats.iter().map(|s| s.vc_full_stalls).sum::<u64>())
+            .sum();
         let stats = mean_std(&cycles);
         rows.push(vec![
             format!("{vc_words} words ({} B)", vc_words * 8),
@@ -59,28 +103,17 @@ fn main() {
     // ----- 2. Membar injection period vs detection latency -------------
     println!("\nAblation 2 — membar injection period vs lost-store detection latency");
     let mut rows = Vec::new();
-    for period in [10_000u64, 50_000, 100_000, 400_000] {
-        let mut latencies = Vec::new();
-        let mut membars = 0u64;
-        for run in 0..opts.runs {
-            let mut sys = SystemBuilder::new()
-                .nodes(4)
-                .workload(WorkloadKind::Jbb, 1_000_000)
-                .seed(opts.seed + run as u64)
-                .membar_injection_period(period)
-                .fault(FaultPlan {
-                    at_cycle: 30_000,
-                    fault: Fault::WbDropStore { node: NodeId(1) },
-                })
-                .watchdog(2_000_000)
-                .max_cycles(4_000_000)
-                .build();
-            let r = sys.run_to_completion(4_000_000);
-            if let Some(d) = r.detection {
-                latencies.push(d.latency() as f64);
-            }
-            membars += r.core_stats.iter().map(|s| s.injected_membars).sum::<u64>();
-        }
+    for period in MEMBAR_PERIODS {
+        let reports = result.reports(&format!("membar/{period}"));
+        let latencies: Vec<f64> = reports
+            .iter()
+            .filter_map(|r| r.detection.as_ref())
+            .map(|d| d.latency() as f64)
+            .collect();
+        let membars: u64 = reports
+            .iter()
+            .map(|r| r.core_stats.iter().map(|s| s.injected_membars).sum::<u64>())
+            .sum();
         let stats = mean_std(&latencies);
         rows.push(vec![
             format!("{period}"),
@@ -99,22 +132,12 @@ fn main() {
     // ----- 3. Epoch-sorter capacity ------------------------------------
     println!("\nAblation 3 — epoch-sorter capacity (oltp, TSO, {} nodes)", opts.nodes);
     let mut rows = Vec::new();
-    for capacity in [16usize, 64, 256, 1024] {
-        let mut clean = 0;
-        for run in 0..opts.runs {
-            let p = dvmc_types::rng::perturbation_seed(opts.seed, run);
-            let mut sys = SystemBuilder::new()
-                .nodes(opts.nodes)
-                .workload(WorkloadKind::Oltp, opts.txns)
-                .seed(opts.seed)
-                .perturbation(p)
-                .sorter_capacity(capacity)
-                .build();
-            let r = sys.run_to_completion(opts.max_cycles);
-            if r.completed && r.violations.is_empty() {
-                clean += 1;
-            }
-        }
+    for capacity in SORTER_CAPACITIES {
+        let clean = result
+            .reports(&format!("sorter/{capacity}"))
+            .iter()
+            .filter(|r| r.completed && r.violations.is_empty())
+            .count();
         rows.push(vec![
             format!("{capacity}"),
             format!("{clean}/{}", opts.runs),

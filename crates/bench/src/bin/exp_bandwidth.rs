@@ -5,15 +5,22 @@
 //! consistent ~20–30% traffic overhead from Inform-Epoch messages; load
 //! replay has no measurable bandwidth impact; SafetyNet adds little.
 
-use dvmc_bench::{print_table, run_spec, ExpOpts, RunSpec};
+use dvmc_bench::{print_table, Campaign, ExpOpts, RunSpec};
 use dvmc_sim::{Protection, RunReport};
 
-fn max_link_bw(reports: &[RunReport]) -> f64 {
-    let xs: Vec<f64> = reports.iter().map(dvmc_sim::RunReport::max_link_bandwidth).collect();
+const CONFIGS: [Protection; 4] = [
+    Protection::BASE,
+    Protection::SN,
+    Protection::SN_DVCC,
+    Protection::FULL,
+];
+
+fn max_link_bw(reports: &[&RunReport]) -> f64 {
+    let xs: Vec<f64> = reports.iter().map(|r| r.max_link_bandwidth()).collect();
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
-fn checker_share(reports: &[RunReport]) -> f64 {
+fn checker_share(reports: &[&RunReport]) -> f64 {
     let checker: u64 = reports.iter().map(|r| r.checker_bytes).sum();
     let total: u64 = reports.iter().map(|r| r.total_bytes).sum();
     checker as f64 / total.max(1) as f64
@@ -22,27 +29,29 @@ fn checker_share(reports: &[RunReport]) -> f64 {
 fn main() {
     let opts = ExpOpts::from_args();
     println!(
-        "Figure 7 — mean bandwidth on the most-loaded link, bytes/cycle (TSO, {:?}, {} nodes, {} runs)",
-        opts.protocol, opts.nodes, opts.runs
+        "Figure 7 — mean bandwidth on the most-loaded link, bytes/cycle (TSO, {:?}, {} nodes, {} runs, {} jobs)",
+        opts.protocol, opts.nodes, opts.runs, opts.jobs
     );
 
-    let configs = [
-        Protection::BASE,
-        Protection::SN,
-        Protection::SN_DVCC,
-        Protection::FULL,
-    ];
+    let mut campaign = Campaign::new();
+    for kind in dvmc_bench::workloads() {
+        for protection in CONFIGS {
+            let mut spec = RunSpec::new(&opts, kind);
+            spec.protection = protection;
+            campaign.push_spec(&opts, format!("{kind}/{}", protection.label()), spec);
+        }
+    }
+    let result = campaign.run(opts.jobs);
+
     let header = vec![
         "workload", "Base", "SN", "SN+DVCC", "DVMC", "DVCC overhead", "inform share",
     ];
     let mut rows = Vec::new();
     for kind in dvmc_bench::workloads() {
-        let mut spec = RunSpec::new(&opts, kind);
         let mut bws = Vec::new();
         let mut informs = 0.0;
-        for protection in configs {
-            spec.protection = protection;
-            let reports = run_spec(&opts, spec);
+        for protection in CONFIGS {
+            let reports = result.expect_clean(&format!("{kind}/{}", protection.label()));
             bws.push(max_link_bw(&reports));
             if protection == Protection::FULL {
                 informs = checker_share(&reports);

@@ -7,42 +7,48 @@
 //! dominant cause of slowdown; each mechanism alone adds little; full
 //! DVMC is no slower than SN+DVUO.
 
-use dvmc_bench::{fmt_pm, normalize, print_table, run_spec, runtime_stats, ExpOpts, RunSpec};
+use dvmc_bench::{fmt_pm, normalize, print_table, runtime_stats, Campaign, ExpOpts, RunSpec};
 use dvmc_sim::Protection;
+
+const CONFIGS: [Protection; 5] = [
+    Protection::BASE,
+    Protection::SN,
+    Protection::SN_DVCC,
+    Protection::SN_DVUO,
+    Protection::FULL,
+];
 
 fn main() {
     let opts = ExpOpts::from_args();
     println!(
-        "Figure 5 — protection-component breakdown (TSO, {:?} protocol, {} nodes, {} runs)",
-        opts.protocol, opts.nodes, opts.runs
+        "Figure 5 — protection-component breakdown (TSO, {:?} protocol, {} nodes, {} runs, {} jobs)",
+        opts.protocol, opts.nodes, opts.runs, opts.jobs
     );
 
-    let configs = [
-        Protection::BASE,
-        Protection::SN,
-        Protection::SN_DVCC,
-        Protection::SN_DVUO,
-        Protection::FULL,
-    ];
-    let header: Vec<&str> = std::iter::once("workload")
-        .chain(configs.iter().map(dvmc_sim::Protection::label))
-        .collect();
+    let mut campaign = Campaign::new();
+    for kind in dvmc_bench::workloads() {
+        for protection in CONFIGS {
+            let mut spec = RunSpec::new(&opts, kind);
+            spec.protection = protection;
+            campaign.push_spec(&opts, format!("{kind}/{}", protection.label()), spec);
+        }
+    }
+    let result = campaign.run(opts.jobs);
 
+    let header: Vec<&str> = std::iter::once("workload")
+        .chain(CONFIGS.iter().map(dvmc_sim::Protection::label))
+        .collect();
     let mut rows = Vec::new();
     let mut dominant_holds = true;
     for kind in dvmc_bench::workloads() {
-        let mut spec = RunSpec::new(&opts, kind);
-        spec.protection = Protection::BASE;
-        let base = runtime_stats(&run_spec(&opts, spec));
+        let stats_of = |protection: Protection| {
+            runtime_stats(result.expect_clean(&format!("{kind}/{}", protection.label())))
+        };
+        let base = stats_of(Protection::BASE);
         let mut row = vec![kind.to_string()];
         let mut means = Vec::new();
-        for protection in configs {
-            let stats = if protection == Protection::BASE {
-                base
-            } else {
-                spec.protection = protection;
-                runtime_stats(&run_spec(&opts, spec))
-            };
+        for protection in CONFIGS {
+            let stats = stats_of(protection);
             means.push(stats.0 / base.0);
             row.push(fmt_pm(normalize(stats, base.0)));
         }

@@ -6,14 +6,21 @@
 //! Paper result to reproduce: DVMC detected **all** injected errors well
 //! within the SafetyNet recovery window (~100k cycles), with a valid
 //! checkpoint still available at detection time.
+//!
+//! All fault plans are drawn *serially* during campaign expansion (the
+//! random sequence per (model, protocol) is fixed by the seed), so the
+//! trial set — and therefore every number below — is independent of
+//! `--jobs`.
 
-use dvmc_bench::{print_table, ExpOpts};
+use dvmc_bench::{print_table, Campaign, ExpOpts};
 use dvmc_consistency::Model;
 use dvmc_faults::{all_faults, random_plan, FaultPlan};
-use dvmc_sim::{Protocol, SystemBuilder};
+use dvmc_sim::{Protocol, RunReport, SystemBuilder, SystemConfig};
 use dvmc_types::rng::det_rng;
 use dvmc_types::NodeId;
 use dvmc_workloads::spec::WorkloadKind;
+
+const MAX_CYCLES: u64 = 3_000_000;
 
 struct Trial {
     detected: bool,
@@ -28,14 +35,14 @@ struct Trial {
 // protocol) is *masked*: there is no error to detect. The paper's trials
 // run "until the error is detected", implying manifest errors only.
 
-fn run_trial(
+fn trial_config(
     opts: &ExpOpts,
     model: Model,
     protocol: Protocol,
     plan: FaultPlan,
     seed: u64,
-) -> Trial {
-    let mut sys = SystemBuilder::new()
+) -> SystemConfig {
+    SystemBuilder::new()
         .nodes(opts.nodes)
         .model(model)
         .protocol(protocol)
@@ -43,14 +50,16 @@ fn run_trial(
         .seed(seed)
         .fault(plan)
         .watchdog(100_000)
-        .max_cycles(3_000_000)
-        .build();
-    let max_cycles = 3_000_000;
-    let report = sys.run_to_completion(max_cycles);
-    match report.detection {
+        .max_cycles(MAX_CYCLES)
+        .into_config()
+        .expect("valid trial config")
+}
+
+fn trial_of(report: &RunReport) -> Trial {
+    match &report.detection {
         Some(d) => Trial {
             detected: true,
-            audit: d.detected_at >= max_cycles,
+            audit: d.detected_at >= MAX_CYCLES,
             latency: d.latency(),
             recoverable: d.recoverable,
         },
@@ -63,27 +72,59 @@ fn run_trial(
     }
 }
 
+const MODELS: [Model; 4] = [Model::Sc, Model::Tso, Model::Pso, Model::Rmo];
+const PROTOCOLS: [Protocol; 2] = [Protocol::Directory, Protocol::Snooping];
+
 fn main() {
     let opts = ExpOpts::from_args();
     let trials_per_config = opts.runs.max(2);
     println!(
-        "§6.1 — error detection: {} random trials per (model, protocol), {} nodes",
-        trials_per_config, opts.nodes
+        "§6.1 — error detection: {} random trials per (model, protocol), {} nodes, {} jobs",
+        trials_per_config, opts.nodes, opts.jobs
     );
 
-    // Random-plan sweep across models and protocols (the paper's design).
-    let mut rows = Vec::new();
-    for model in [Model::Sc, Model::Tso, Model::Pso, Model::Rmo] {
-        for protocol in [Protocol::Directory, Protocol::Snooping] {
+    // Phase 1: expand both sweeps into one campaign.
+    let mut campaign = Campaign::new();
+    for model in MODELS {
+        for protocol in PROTOCOLS {
             let mut rng = det_rng(opts.seed ^ model as u64 ^ ((protocol as u64) << 8));
+            for t in 0..trials_per_config {
+                let plan = random_plan(&mut rng, opts.nodes, 10_000, 60_000);
+                campaign.push(
+                    format!("random/{model}/{protocol:?}"),
+                    t,
+                    trial_config(&opts, model, protocol, plan, opts.seed + t as u64),
+                    MAX_CYCLES,
+                );
+            }
+        }
+    }
+    let category_faults = all_faults(NodeId(1), NodeId(2));
+    for (i, fault) in category_faults.iter().enumerate() {
+        let plan = FaultPlan {
+            at_cycle: 20_000,
+            fault: *fault,
+        };
+        campaign.push(
+            format!("cat/{fault}"),
+            0,
+            trial_config(&opts, Model::Tso, opts.protocol, plan, opts.seed + 1000 + i as u64),
+            MAX_CYCLES,
+        );
+    }
+    let result = campaign.run(opts.jobs);
+
+    // Phase 2: aggregate the random-plan sweep (the paper's design).
+    let mut rows = Vec::new();
+    for model in MODELS {
+        for protocol in PROTOCOLS {
             let mut detected = 0;
             let mut audits = 0;
             let mut masked = 0;
             let mut recoverable = 0;
             let mut latencies = Vec::new();
-            for t in 0..trials_per_config {
-                let plan = random_plan(&mut rng, opts.nodes, 10_000, 60_000);
-                let trial = run_trial(&opts, model, protocol, plan, opts.seed + t as u64);
+            for report in result.reports(&format!("random/{model}/{protocol:?}")) {
+                let trial = trial_of(report);
                 if trial.detected {
                     detected += 1;
                     if trial.audit {
@@ -99,7 +140,7 @@ fn main() {
                 }
             }
             let mean_lat = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
-            let max_lat = latencies.iter().cloned().fold(0.0, f64::max);
+            let max_lat = latencies.iter().copied().fold(0.0, f64::max);
             rows.push(vec![
                 format!("{model}"),
                 format!("{protocol:?}"),
@@ -125,12 +166,9 @@ fn main() {
 
     // Category coverage: one fault of every kind on the default config.
     let mut rows = Vec::new();
-    for (i, fault) in all_faults(NodeId(1), NodeId(2)).into_iter().enumerate() {
-        let plan = FaultPlan {
-            at_cycle: 20_000,
-            fault,
-        };
-        let trial = run_trial(&opts, Model::Tso, opts.protocol, plan, opts.seed + 1000 + i as u64);
+    for fault in &category_faults {
+        let reports = result.reports(&format!("cat/{fault}"));
+        let trial = trial_of(reports[0]);
         rows.push(vec![
             fault.to_string(),
             if !trial.detected {

@@ -3,10 +3,13 @@
 //! memory controller at 48 bits per line resident in any cache — for the
 //! Table 6 configuration and a sweep of alternatives.
 
-use dvmc_bench::print_table;
+use dvmc_bench::{print_table, ExpOpts};
 use dvmc_core::cost::{CostConfig, CET_BITS_PER_LINE, MET_BITS_PER_LINE};
 
 fn main() {
+    // No simulations here — the table is pure arithmetic — but parse the
+    // common flags anyway so every exp_* binary accepts the same CLI.
+    let _opts = ExpOpts::from_args();
     println!("§6.3 — DVMC hardware cost");
     println!("CET entry: {CET_BITS_PER_LINE} bits/line; MET entry: {MET_BITS_PER_LINE} bits/line");
 

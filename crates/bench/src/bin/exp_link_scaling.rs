@@ -5,7 +5,7 @@
 //! bandwidth and DVMC overhead — checker traffic rides in the idle gaps
 //! between demand-traffic bursts.
 
-use dvmc_bench::{fmt_pm, mean_ratio, print_table, ExpOpts, RunSpec};
+use dvmc_bench::{fmt_pm, mean_ratio_of, print_table, push_ratio_cells, Campaign, ExpOpts, RunSpec};
 use dvmc_sim::Protocol;
 
 fn main() {
@@ -13,22 +13,29 @@ fn main() {
     // The paper sweeps 1–3 GB/s; at our cycle scale that is 1–3 B/cycle.
     let bandwidths = [1u32, 2, 3];
     println!(
-        "Figure 8 — DVMC overhead vs link bandwidth ({} nodes, {} runs, mean over workloads)",
-        opts.nodes, opts.runs
+        "Figure 8 — DVMC overhead vs link bandwidth ({} nodes, {} runs, {} jobs, mean over workloads)",
+        opts.nodes, opts.runs, opts.jobs
     );
+
+    let mut campaign = Campaign::new();
+    for protocol in [Protocol::Directory, Protocol::Snooping] {
+        for bw in bandwidths {
+            push_ratio_cells(&mut campaign, &opts, &format!("{protocol:?}/{bw}"), |kind| {
+                let mut spec = RunSpec::new(&opts, kind);
+                spec.protocol = protocol;
+                spec.link_bandwidth = bw;
+                spec
+            });
+        }
+    }
+    let result = campaign.run(opts.jobs);
 
     let header = vec!["protocol", "1 B/cyc", "2 B/cyc", "3 B/cyc"];
     let mut rows = Vec::new();
     for protocol in [Protocol::Directory, Protocol::Snooping] {
         let mut row = vec![format!("{protocol:?}")];
         for bw in bandwidths {
-            let stats = mean_ratio(&opts, |kind| {
-                let mut spec = RunSpec::new(&opts, kind);
-                spec.protocol = protocol;
-                spec.link_bandwidth = bw;
-                spec
-            });
-            row.push(fmt_pm(stats));
+            row.push(fmt_pm(mean_ratio_of(&result, &format!("{protocol:?}/{bw}"))));
         }
         rows.push(row);
     }

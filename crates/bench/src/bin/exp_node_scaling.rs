@@ -5,30 +5,37 @@
 //! DVMC overhead — checker traffic is all unicast and scales linearly with
 //! demand traffic, so relative bandwidth consumption stays constant.
 
-use dvmc_bench::{fmt_pm, mean_ratio, print_table, ExpOpts, RunSpec};
+use dvmc_bench::{fmt_pm, mean_ratio_of, print_table, push_ratio_cells, Campaign, ExpOpts, RunSpec};
 use dvmc_sim::Protocol;
 
 fn main() {
     let opts = ExpOpts::from_args();
     let node_counts = [1usize, 2, 4, 8];
     println!(
-        "Figure 9 — DVMC overhead vs processor count ({} runs, mean over workloads)",
-        opts.runs
+        "Figure 9 — DVMC overhead vs processor count ({} runs, {} jobs, mean over workloads)",
+        opts.runs, opts.jobs
     );
+
+    let mut campaign = Campaign::new();
+    for protocol in [Protocol::Directory, Protocol::Snooping] {
+        for nodes in node_counts {
+            let mut o = opts;
+            o.nodes = nodes;
+            push_ratio_cells(&mut campaign, &o, &format!("{protocol:?}/{nodes}p"), |kind| {
+                let mut spec = RunSpec::new(&o, kind);
+                spec.protocol = protocol;
+                spec
+            });
+        }
+    }
+    let result = campaign.run(opts.jobs);
 
     let header = vec!["protocol", "1p", "2p", "4p", "8p"];
     let mut rows = Vec::new();
     for protocol in [Protocol::Directory, Protocol::Snooping] {
         let mut row = vec![format!("{protocol:?}")];
         for nodes in node_counts {
-            let mut o = opts;
-            o.nodes = nodes;
-            let stats = mean_ratio(&o, |kind| {
-                let mut spec = RunSpec::new(&o, kind);
-                spec.protocol = protocol;
-                spec
-            });
-            row.push(fmt_pm(stats));
+            row.push(fmt_pm(mean_ratio_of(&result, &format!("{protocol:?}/{nodes}p"))));
         }
         rows.push(row);
     }

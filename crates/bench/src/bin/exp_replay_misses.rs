@@ -6,10 +6,10 @@
 //! in lock spin loops (a failed acquire's polled line is invalidated by
 //! the eventual owner between execution and replay).
 
-use dvmc_bench::{print_table, run_spec, ExpOpts, RunSpec};
+use dvmc_bench::{print_table, Campaign, ExpOpts, RunSpec};
 use dvmc_sim::RunReport;
 
-fn ratio(reports: &[RunReport]) -> (f64, f64, f64) {
+fn ratio(reports: &[&RunReport]) -> (f64, f64, f64) {
     let mut replay = 0u64;
     let mut demand = 0u64;
     let mut replays_total = 0u64;
@@ -32,9 +32,15 @@ fn ratio(reports: &[RunReport]) -> (f64, f64, f64) {
 fn main() {
     let opts = ExpOpts::from_args();
     println!(
-        "Figure 6 — replay L1 misses (TSO, {:?} protocol, {} nodes, {} runs)",
-        opts.protocol, opts.nodes, opts.runs
+        "Figure 6 — replay L1 misses (TSO, {:?} protocol, {} nodes, {} runs, {} jobs)",
+        opts.protocol, opts.nodes, opts.runs, opts.jobs
     );
+
+    let mut campaign = Campaign::new();
+    for kind in dvmc_bench::workloads() {
+        campaign.push_spec(&opts, kind.name(), RunSpec::new(&opts, kind));
+    }
+    let result = campaign.run(opts.jobs);
 
     let header = vec![
         "workload",
@@ -44,9 +50,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for kind in dvmc_bench::workloads() {
-        let spec = RunSpec::new(&opts, kind);
-        let reports = run_spec(&opts, spec);
-        let (vs_demand, rate, replays) = ratio(&reports);
+        let (vs_demand, rate, replays) = ratio(&result.expect_clean(kind.name()));
         rows.push(vec![
             kind.to_string(),
             format!("{:.4}", vs_demand),

@@ -1,0 +1,433 @@
+//! # Parallel campaign runner
+//!
+//! The experiment suite is embarrassingly parallel: every figure is a
+//! sweep over (workload × model × protocol × protection × size × seed)
+//! cells, and each cell is an independent [`dvmc_sim::System`] run. This
+//! module fans those cells across a worker pool and aggregates the
+//! [`RunReport`]s — the `exp_*` binaries expand their whole grid into one
+//! [`Campaign`], run it once with `--jobs=N`, and read results back by
+//! tag.
+//!
+//! ## Determinism contract
+//!
+//! Results are **bit-identical regardless of worker count**:
+//!
+//! * every cell's seeds are derived *during serial expansion* (via
+//!   `dvmc_types::rng::perturbation_seed` /
+//!   `dvmc_types::rng::campaign_cell_seed`), never from worker state;
+//! * each cell runs as a pure function of its `SystemConfig`
+//!   ([`dvmc_sim::run_cell`]), sharing nothing with its siblings;
+//! * outcomes are stored at the cell's submission index, so aggregation
+//!   order is the submission order, not the completion order;
+//! * [`CampaignResult::canonical_json`] contains only simulation
+//!   quantities (cycles, bytes, counts) — wall-clock timing lives in the
+//!   separate `timing` section of [`CampaignResult::json`].
+//!
+//! `--jobs=1` therefore produces byte-identical canonical JSON to
+//! `--jobs=8`; a regression test and the CI smoke job both assert this.
+
+use crate::ExpOpts;
+use dvmc_sim::{RunReport, SystemConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One unit of work: a fully specified simulation run.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Aggregation key; cells sharing a tag form one report group
+    /// (typically the `opts.runs` perturbed trials of one configuration).
+    pub tag: String,
+    /// Trial index within the tag (the §5 perturbation index).
+    pub trial: u32,
+    /// The complete system configuration, seeds included.
+    pub cfg: SystemConfig,
+    /// Hard cycle limit for this cell.
+    pub max_cycles: u64,
+}
+
+/// A completed cell: its report plus the wall-clock time it took.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The cell's aggregation tag.
+    pub tag: String,
+    /// The cell's trial index.
+    pub trial: u32,
+    /// The simulation report.
+    pub report: RunReport,
+    /// Wall-clock duration of this cell alone (timing only — never part
+    /// of the canonical output).
+    pub wall: Duration,
+}
+
+/// A batch of independent simulation cells to run.
+#[derive(Clone, Debug, Default)]
+pub struct Campaign {
+    cells: Vec<Cell>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new() -> Campaign {
+        Campaign::default()
+    }
+
+    /// Number of cells queued.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells are queued.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Queues one cell.
+    pub fn push(
+        &mut self,
+        tag: impl Into<String>,
+        trial: u32,
+        cfg: SystemConfig,
+        max_cycles: u64,
+    ) {
+        self.cells.push(Cell {
+            tag: tag.into(),
+            trial,
+            cfg,
+            max_cycles,
+        });
+    }
+
+    /// Queues `opts.runs` perturbed trials of `spec` under `tag`, with
+    /// the same per-trial seeds the serial harness
+    /// ([`crate::run_spec`]) uses — porting a binary onto the campaign
+    /// runner changes the schedule, never the numbers.
+    pub fn push_spec(&mut self, opts: &ExpOpts, tag: impl Into<String>, spec: crate::RunSpec) {
+        let tag = tag.into();
+        for trial in 0..opts.runs {
+            let perturbation = dvmc_types::rng::perturbation_seed(opts.seed, trial);
+            self.push(
+                tag.clone(),
+                trial,
+                spec.config(opts.seed, perturbation),
+                opts.max_cycles,
+            );
+        }
+    }
+
+    /// Runs every cell on a pool of `jobs` worker threads (clamped to at
+    /// least one) and returns the aggregated result. Progress is reported
+    /// on stderr.
+    ///
+    /// Work distribution is a shared atomic cursor — an idle worker takes
+    /// the next unstarted cell, so long cells never leave the pool idle
+    /// behind a static partition. Outcomes land at their submission
+    /// index regardless of completion order (see the module-level
+    /// determinism contract).
+    pub fn run(&self, jobs: usize) -> CampaignResult {
+        let total = self.cells.len();
+        let workers = jobs.max(1).min(total.max(1));
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, RunReport, Duration)>();
+        let started = Instant::now();
+        let mut slots: Vec<Option<(RunReport, Duration)>> = vec![None; total];
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let cells = &self.cells;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let t0 = Instant::now();
+                    let report = dvmc_sim::run_cell(&cell.cfg, cell.max_cycles);
+                    if tx.send((i, report, t0.elapsed())).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut done = 0usize;
+            for (i, report, wall) in rx {
+                done += 1;
+                eprint!(
+                    "\r[campaign] {done}/{total} cells ({} workers, {:.1}s)   ",
+                    workers,
+                    started.elapsed().as_secs_f64()
+                );
+                slots[i] = Some((report, wall));
+            }
+            if total > 0 {
+                eprintln!();
+            }
+        });
+        let outcomes = self
+            .cells
+            .iter()
+            .zip(slots)
+            .map(|(cell, slot)| {
+                let (report, wall) = slot.expect("worker finished without reporting a cell");
+                CellOutcome {
+                    tag: cell.tag.clone(),
+                    trial: cell.trial,
+                    report,
+                    wall,
+                }
+            })
+            .collect();
+        CampaignResult {
+            outcomes,
+            wall: started.elapsed(),
+            jobs: workers,
+        }
+    }
+}
+
+/// The aggregated outcome of a [`Campaign::run`].
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    outcomes: Vec<CellOutcome>,
+    wall: Duration,
+    jobs: usize,
+}
+
+impl CampaignResult {
+    /// All outcomes, in submission order.
+    pub fn outcomes(&self) -> &[CellOutcome] {
+        &self.outcomes
+    }
+
+    /// The reports filed under `tag`, in trial (submission) order.
+    pub fn reports(&self, tag: &str) -> Vec<&RunReport> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.tag == tag)
+            .map(|o| &o.report)
+            .collect()
+    }
+
+    /// Like [`reports`](Self::reports), but asserts every run completed
+    /// cleanly — the campaign equivalent of [`crate::run_spec`]'s
+    /// invariant for error-free evaluation runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cell carries `tag`, or if any run hung, hit its cycle
+    /// limit, or raised a violation.
+    pub fn expect_clean(&self, tag: &str) -> Vec<&RunReport> {
+        let reports = self.reports(tag);
+        assert!(!reports.is_empty(), "no campaign cells tagged {tag:?}");
+        for r in &reports {
+            assert!(
+                r.completed && !r.hung,
+                "run did not complete: {tag} -> cycles={} hung={}",
+                r.cycles,
+                r.hung
+            );
+            assert!(
+                r.violations.is_empty(),
+                "error-free run raised violations: {tag} -> {:?}",
+                r.violations
+            );
+        }
+        reports
+    }
+
+    /// Worker threads actually used.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Wall-clock duration of the whole campaign.
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Sum of the cells' individual wall-clock durations — what a serial
+    /// (`--jobs=1`) schedule would have cost, up to scheduling noise.
+    pub fn serial_wall(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.wall).sum()
+    }
+
+    /// Observed speedup over a serial schedule.
+    pub fn speedup(&self) -> f64 {
+        self.serial_wall().as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Deterministic JSON: per-cell simulation quantities only (integers
+    /// and booleans — no timing, no floats), in submission order. Two
+    /// runs of the same campaign produce byte-identical canonical JSON
+    /// regardless of `--jobs`.
+    pub fn canonical_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"dvmc-campaign/v1\",\n  \"cells\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let r = &o.report;
+            let detection = match &r.detection {
+                Some(d) => format!(
+                    "{{\"injected_at\": {}, \"detected_at\": {}, \"latency\": {}, \"recoverable\": {}}}",
+                    d.injected_at,
+                    d.detected_at,
+                    d.latency(),
+                    d.recoverable
+                ),
+                None => "null".into(),
+            };
+            out.push_str(&format!(
+                "    {{\"tag\": {}, \"trial\": {}, \"cycles\": {}, \"transactions\": {}, \
+                 \"completed\": {}, \"hung\": {}, \"violations\": {}, \"detection\": {}, \
+                 \"max_link_bytes\": {}, \"total_bytes\": {}, \"checker_bytes\": {}, \
+                 \"ber_bytes\": {}}}{}\n",
+                json_str(&o.tag),
+                o.trial,
+                r.cycles,
+                r.transactions,
+                r.completed,
+                r.hung,
+                r.violations.len(),
+                detection,
+                r.max_link_bytes,
+                r.total_bytes,
+                r.checker_bytes,
+                r.ber_bytes,
+                if i + 1 < self.outcomes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Full JSON: the canonical cells plus a `timing` section (jobs,
+    /// wall-clock, serial-equivalent, speedup). The timing section is the
+    /// only part that varies between runs.
+    pub fn json(&self) -> String {
+        let canonical = self.canonical_json();
+        let body = canonical
+            .strip_suffix("  ]\n}\n")
+            .expect("canonical JSON ends with its cells array");
+        format!(
+            "{body}  ],\n  \"timing\": {{\"jobs\": {}, \"wall_ms\": {}, \"serial_ms\": {}, \
+             \"speedup\": {:.2}}}\n}}\n",
+            self.jobs,
+            self.wall.as_millis(),
+            self.serial_wall().as_millis(),
+            self.speedup()
+        )
+    }
+
+    /// Writes the full JSON to `path`, creating parent directories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_json(&self, path: &std::path::Path) {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(path, self.json())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!(
+            "[campaign] wrote {} ({} cells, {} workers, speedup {:.2}x)",
+            path.display(),
+            self.outcomes.len(),
+            self.jobs,
+            self.speedup()
+        );
+    }
+}
+
+/// Minimal JSON string escaping (tags are ASCII identifiers, but quote
+/// them defensively).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunSpec;
+    use dvmc_workloads::spec::WorkloadKind;
+
+    fn tiny_opts() -> ExpOpts {
+        ExpOpts {
+            runs: 2,
+            txns: 2,
+            nodes: 2,
+            ..ExpOpts::default()
+        }
+    }
+
+    #[test]
+    fn campaign_matches_serial_harness() {
+        // Porting a spec onto the campaign must not change its numbers.
+        let opts = tiny_opts();
+        let spec = RunSpec::new(&opts, WorkloadKind::Jbb);
+        let serial = crate::run_spec(&opts, spec);
+        let mut campaign = Campaign::new();
+        campaign.push_spec(&opts, "jbb", spec);
+        let result = campaign.run(2);
+        let parallel = result.expect_clean("jbb");
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel) {
+            assert_eq!(s.cycles, p.cycles);
+            assert_eq!(s.transactions, p.transactions);
+            assert_eq!(s.total_bytes, p.total_bytes);
+        }
+    }
+
+    #[test]
+    fn outcomes_keep_submission_order() {
+        let opts = tiny_opts();
+        let mut campaign = Campaign::new();
+        campaign.push_spec(&opts, "a", RunSpec::new(&opts, WorkloadKind::Jbb));
+        campaign.push_spec(&opts, "b", RunSpec::new(&opts, WorkloadKind::Apache));
+        let result = campaign.run(4);
+        let tags: Vec<&str> = result.outcomes().iter().map(|o| o.tag.as_str()).collect();
+        assert_eq!(tags, ["a", "a", "b", "b"]);
+        let trials: Vec<u32> = result.outcomes().iter().map(|o| o.trial).collect();
+        assert_eq!(trials, [0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn json_shapes() {
+        let opts = ExpOpts {
+            runs: 1,
+            ..tiny_opts()
+        };
+        let mut campaign = Campaign::new();
+        campaign.push_spec(&opts, "jbb", RunSpec::new(&opts, WorkloadKind::Jbb));
+        let result = campaign.run(1);
+        let canonical = result.canonical_json();
+        assert!(canonical.contains("\"schema\": \"dvmc-campaign/v1\""));
+        assert!(canonical.contains("\"tag\": \"jbb\""));
+        assert!(!canonical.contains("timing"), "canonical JSON carries no timing");
+        let full = result.json();
+        assert!(full.starts_with(canonical.strip_suffix("  ]\n}\n").unwrap()));
+        assert!(full.contains("\"timing\""));
+        assert!(full.contains("\"jobs\": 1"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_campaign_runs() {
+        let result = Campaign::new().run(4);
+        assert!(result.outcomes().is_empty());
+        assert!(result.canonical_json().contains("\"cells\": [\n  ]"));
+    }
+}

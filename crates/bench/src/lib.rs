@@ -13,11 +13,17 @@
 //!
 //! * `--runs=N` — perturbed repetitions per configuration (default 3)
 //! * `--txns=N` — transactions per thread (default 24)
-//! * `--nodes=N` — system size (default 8)
+//! * `--nodes=N` — system size (default 8, max 255)
 //! * `--seed=N` — base seed (default 42)
+//! * `--jobs=N` — worker threads for the campaign runner (default: all
+//!   available cores); results are bit-identical regardless of `N`
 //! * `--protocol=directory|snooping` — where applicable
 
-use dvmc_sim::{mean_std, Protection, Protocol, RunReport, System, SystemBuilder};
+pub mod campaign;
+
+pub use campaign::{Campaign, CampaignResult, Cell, CellOutcome};
+
+use dvmc_sim::{mean_std, Protection, Protocol, RunReport, System, SystemBuilder, SystemConfig};
 use dvmc_workloads::spec::WorkloadKind;
 
 /// Options parsed from the command line.
@@ -35,6 +41,8 @@ pub struct ExpOpts {
     pub protocol: Protocol,
     /// Hard per-run cycle limit.
     pub max_cycles: u64,
+    /// Campaign worker threads (`--jobs`; defaults to the core count).
+    pub jobs: usize,
 }
 
 impl Default for ExpOpts {
@@ -46,25 +54,37 @@ impl Default for ExpOpts {
             seed: 42,
             protocol: Protocol::Directory,
             max_cycles: 50_000_000,
+            jobs: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         }
     }
 }
 
 impl ExpOpts {
-    /// Parses `--key=value` style arguments; unknown arguments abort with
-    /// a usage message.
+    /// Parses `--key=value` style arguments; unknown arguments and
+    /// out-of-range node counts abort with a usage message.
     pub fn from_args() -> ExpOpts {
+        Self::from_args_with(|_, _| false)
+    }
+
+    /// Like [`from_args`](Self::from_args), but offers each `--key=value`
+    /// pair to `extra` first; a `true` return consumes the argument
+    /// (binaries with flags beyond the common set, e.g. `dvmc-campaign`).
+    pub fn from_args_with(mut extra: impl FnMut(&str, &str) -> bool) -> ExpOpts {
         let mut o = ExpOpts::default();
         for arg in std::env::args().skip(1) {
             let Some((key, value)) = arg.split_once('=') else {
                 usage(&arg);
             };
+            if extra(key, value) {
+                continue;
+            }
             match key {
                 "--runs" => o.runs = value.parse().unwrap_or_else(|_| usage(&arg)),
                 "--txns" => o.txns = value.parse().unwrap_or_else(|_| usage(&arg)),
                 "--nodes" => o.nodes = value.parse().unwrap_or_else(|_| usage(&arg)),
                 "--seed" => o.seed = value.parse().unwrap_or_else(|_| usage(&arg)),
                 "--max-cycles" => o.max_cycles = value.parse().unwrap_or_else(|_| usage(&arg)),
+                "--jobs" => o.jobs = value.parse().unwrap_or_else(|_| usage(&arg)),
                 "--protocol" => {
                     o.protocol = match value {
                         "directory" => Protocol::Directory,
@@ -75,6 +95,17 @@ impl ExpOpts {
                 _ => usage(&arg),
             }
         }
+        // Reject what `SystemConfig::validate` would refuse later, before
+        // any sweep expands (node identifiers are 8-bit; oversized counts
+        // used to truncate silently).
+        if o.nodes == 0 || o.nodes > u8::MAX as usize {
+            eprintln!(
+                "--nodes={} out of range: a system has 1..={} nodes (8-bit NodeId)",
+                o.nodes,
+                u8::MAX
+            );
+            std::process::exit(2)
+        }
         o
     }
 }
@@ -83,7 +114,7 @@ fn usage(arg: &str) -> ! {
     eprintln!("unrecognized argument: {arg}");
     eprintln!(
         "usage: exp_* [--runs=N] [--txns=N] [--nodes=N] [--seed=N] \
-         [--max-cycles=N] [--protocol=directory|snooping]"
+         [--max-cycles=N] [--jobs=N] [--protocol=directory|snooping]"
     );
     std::process::exit(2)
 }
@@ -122,7 +153,15 @@ impl RunSpec {
         }
     }
 
-    fn build(&self, base_seed: u64, perturbation: u64) -> System {
+    /// The validated [`SystemConfig`] for this spec and seed pair — the
+    /// campaign runner expands specs into configs up front and builds the
+    /// systems later, on worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration ([`ExpOpts::from_args`] rejects
+    /// out-of-range node counts before any spec is constructed).
+    pub fn config(&self, base_seed: u64, perturbation: u64) -> SystemConfig {
         SystemBuilder::new()
             .nodes(self.nodes)
             .protocol(self.protocol)
@@ -132,7 +171,12 @@ impl RunSpec {
             .workload(self.kind, self.txns)
             .seed(base_seed)
             .perturbation(perturbation)
-            .build()
+            .into_config()
+            .unwrap_or_else(|e| panic!("invalid run spec {self:?}: {e}"))
+    }
+
+    fn build(&self, base_seed: u64, perturbation: u64) -> System {
+        System::new(self.config(base_seed, perturbation))
     }
 }
 
@@ -158,9 +202,11 @@ pub fn run_spec(opts: &ExpOpts, spec: RunSpec) -> Vec<RunReport> {
     reports
 }
 
-/// Mean ± std of the runtimes (cycles) of a report set.
-pub fn runtime_stats(reports: &[RunReport]) -> (f64, f64) {
-    let xs: Vec<f64> = reports.iter().map(|r| r.cycles as f64).collect();
+/// Mean ± std of the runtimes (cycles) of a report set (accepts owned
+/// reports by reference or the borrowed groups a
+/// [`CampaignResult`] hands out).
+pub fn runtime_stats<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> (f64, f64) {
+    let xs: Vec<f64> = reports.into_iter().map(|r| r.cycles as f64).collect();
     mean_std(&xs)
 }
 
@@ -213,17 +259,34 @@ pub fn workloads() -> [WorkloadKind; 5] {
     WorkloadKind::ALL
 }
 
-/// For Figures 8 and 9: the mean ± std (across workloads) of the ratio
-/// between the fully protected and the unprotected system's runtime, with
-/// `make` supplying the per-workload spec (protection is overridden here).
-pub fn mean_ratio(opts: &ExpOpts, make: impl Fn(WorkloadKind) -> RunSpec) -> (f64, f64) {
-    let mut ratios = Vec::new();
+/// For Figures 8 and 9: queues, under `prefix`, the unprotected and the
+/// fully protected variant of every workload's spec (tags
+/// `"{prefix}/{kind}/Base"` and `"{prefix}/{kind}/DVMC"`), with `make`
+/// supplying the per-workload spec (protection is overridden here).
+/// Aggregate with [`mean_ratio_of`].
+pub fn push_ratio_cells(
+    campaign: &mut Campaign,
+    opts: &ExpOpts,
+    prefix: &str,
+    make: impl Fn(WorkloadKind) -> RunSpec,
+) {
     for kind in workloads() {
         let mut spec = make(kind);
-        spec.protection = Protection::BASE;
-        let base = runtime_stats(&run_spec(opts, spec)).0;
-        spec.protection = Protection::FULL;
-        let full = runtime_stats(&run_spec(opts, spec)).0;
+        for protection in [Protection::BASE, Protection::FULL] {
+            spec.protection = protection;
+            campaign.push_spec(opts, format!("{prefix}/{kind}/{}", protection.label()), spec);
+        }
+    }
+}
+
+/// The mean ± std (across workloads) of the ratio between the fully
+/// protected and the unprotected system's runtime, over cells queued by
+/// [`push_ratio_cells`] with the same `prefix`.
+pub fn mean_ratio_of(result: &CampaignResult, prefix: &str) -> (f64, f64) {
+    let mut ratios = Vec::new();
+    for kind in workloads() {
+        let base = runtime_stats(result.expect_clean(&format!("{prefix}/{kind}/Base"))).0;
+        let full = runtime_stats(result.expect_clean(&format!("{prefix}/{kind}/DVMC"))).0;
         ratios.push(full / base);
     }
     mean_std(&ratios)

@@ -68,7 +68,7 @@ struct InFlight<T> {
 type Delayed<T> = (Cycle, NodeId, NodeId, T, u32);
 
 /// Predicate selecting which payloads an armed fault may hit.
-type FaultFilter<T> = Box<dyn Fn(&T) -> bool>;
+type FaultFilter<T> = Box<dyn Fn(&T) -> bool + Send>;
 
 pub struct Torus<T> {
     cols: usize,
@@ -160,7 +160,11 @@ impl<T> Torus<T> {
     /// Arms a one-shot fault applied to the next sent message for which
     /// `filter` returns true (targets a message class, e.g. protocol
     /// traffic only).
-    pub fn arm_fault_filtered(&mut self, fault: NetFault, filter: impl Fn(&T) -> bool + 'static) {
+    pub fn arm_fault_filtered(
+        &mut self,
+        fault: NetFault,
+        filter: impl Fn(&T) -> bool + Send + 'static,
+    ) {
         self.armed_fault = Some(fault);
         self.fault_filter = Some(Box::new(filter));
     }

@@ -169,7 +169,7 @@ struct Pending {
 /// The out-of-order core model for one hardware thread.
 pub struct Core {
     cfg: CoreConfig,
-    stream: Box<dyn InstrStream>,
+    stream: Box<dyn InstrStream + Send>,
     rob: VecDeque<RobEntry>,
     wb: VecDeque<WbEntry>,
     reorder: Option<ReorderChecker>,
@@ -196,7 +196,7 @@ pub struct Core {
 
 impl Core {
     /// Creates a core running `stream` under `cfg`.
-    pub fn new(cfg: CoreConfig, stream: Box<dyn InstrStream>) -> Self {
+    pub fn new(cfg: CoreConfig, stream: Box<dyn InstrStream + Send>) -> Self {
         let uniproc_cfg = UniprocCheckerConfig {
             // The RMO optimization of §4.1: cache load values in the VC.
             cache_load_values: cfg.model == Model::Rmo,

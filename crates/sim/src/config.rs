@@ -64,6 +64,38 @@ impl Protection {
     }
 }
 
+/// A rejected system configuration.
+///
+/// Node identifiers are 8-bit ([`dvmc_types::NodeId`] wraps a `u8`), so a
+/// system is capped at 255 nodes; exceeding the cap used to truncate
+/// silently (`i as u8`), aliasing distinct nodes. Configurations are now
+/// validated up front and refused instead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// `nodes` was zero.
+    NoNodes,
+    /// `nodes` exceeds the 255 the 8-bit node identifier can address.
+    TooManyNodes {
+        /// The requested node count.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "a system needs at least one node"),
+            ConfigError::TooManyNodes { nodes } => write!(
+                f,
+                "{nodes} nodes exceed the {} a u8 NodeId can address",
+                u8::MAX
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full-system configuration.
 #[derive(Clone, Debug)]
 pub struct SystemConfig {
@@ -91,9 +123,25 @@ pub struct SystemConfig {
     pub membar_injection_period: u64,
     /// Epoch-sorter priority-queue capacity (Table 6: 256).
     pub sorter_capacity: usize,
+    /// Record every committed operation per core (litmus harness and
+    /// trace-level debugging; off for benchmarks — the log grows with the
+    /// run).
+    pub record_commits: bool,
 }
 
 impl SystemConfig {
+    /// Checks the configuration's structural invariants; every entry
+    /// point that builds a [`crate::System`] calls this first.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        if self.nodes > u8::MAX as usize {
+            return Err(ConfigError::TooManyNodes { nodes: self.nodes });
+        }
+        Ok(())
+    }
+
     /// The cluster configuration implied by this system configuration.
     pub fn cluster_config(&self) -> ClusterConfig {
         let mut c = ClusterConfig::paper_default(self.nodes, self.protocol);
@@ -111,6 +159,7 @@ impl SystemConfig {
             dvmc: self.protection.core,
             vc_words: self.vc_words,
             membar_injection_period: self.membar_injection_period,
+            record_commits: self.record_commits,
             ..CoreConfig::default()
         }
     }
@@ -154,6 +203,7 @@ pub struct SystemBuilder {
     vc_words: usize,
     membar_injection_period: u64,
     sorter_capacity: usize,
+    record_commits: bool,
 }
 
 impl Default for SystemBuilder {
@@ -174,6 +224,7 @@ impl Default for SystemBuilder {
             vc_words: 32,
             membar_injection_period: 100_000,
             sorter_capacity: 256,
+            record_commits: false,
         }
     }
 }
@@ -282,8 +333,16 @@ impl SystemBuilder {
         self
     }
 
-    /// Builds the system.
-    pub fn build(self) -> crate::System {
+    /// Records every committed operation per core (litmus harness).
+    pub fn record_commits(mut self, on: bool) -> Self {
+        self.record_commits = on;
+        self
+    }
+
+    /// The validated [`SystemConfig`] this builder describes, without
+    /// building the system — campaign sweeps expand specs into configs
+    /// first and construct systems later, on worker threads.
+    pub fn into_config(self) -> Result<SystemConfig, ConfigError> {
         let cfg = SystemConfig {
             nodes: self.nodes,
             protocol: self.protocol,
@@ -304,8 +363,27 @@ impl SystemBuilder {
             vc_words: self.vc_words,
             membar_injection_period: self.membar_injection_period,
             sorter_capacity: self.sorter_capacity,
+            record_commits: self.record_commits,
         };
-        crate::System::new(cfg)
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Builds the system, refusing invalid configurations (e.g. a node
+    /// count the 8-bit [`dvmc_types::NodeId`] cannot address, which
+    /// earlier versions truncated silently).
+    pub fn try_build(self) -> Result<crate::System, ConfigError> {
+        Ok(crate::System::new(self.into_config()?))
+    }
+
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use
+    /// [`try_build`](Self::try_build) to handle the error instead.
+    pub fn build(self) -> crate::System {
+        self.try_build().unwrap_or_else(|e| panic!("invalid system configuration: {e}"))
     }
 }
 
@@ -326,6 +404,30 @@ mod tests {
     fn builder_threads_follow_nodes() {
         let sys = SystemBuilder::new().nodes(4).build();
         assert_eq!(sys.config().workload.threads, 4);
+    }
+
+    #[test]
+    fn node_counts_are_validated_not_truncated() {
+        assert_eq!(
+            SystemBuilder::new().nodes(0).try_build().err(),
+            Some(ConfigError::NoNodes)
+        );
+        assert_eq!(
+            SystemBuilder::new().nodes(300).try_build().err(),
+            Some(ConfigError::TooManyNodes { nodes: 300 })
+        );
+        // 256 would make `nodes as u8` arithmetic wrap even though the
+        // largest index still fits; the cap is u8::MAX.
+        assert!(SystemBuilder::new().nodes(256).try_build().is_err());
+        assert!(SystemBuilder::new().nodes(255).into_config().is_ok());
+        let msg = ConfigError::TooManyNodes { nodes: 300 }.to_string();
+        assert!(msg.contains("300"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid system configuration")]
+    fn build_panics_instead_of_wrapping() {
+        let _ = SystemBuilder::new().nodes(1000).build();
     }
 
     #[test]

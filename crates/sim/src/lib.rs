@@ -19,10 +19,27 @@ pub mod config;
 pub mod report;
 pub mod system;
 
-pub use config::{Protection, SystemBuilder, SystemConfig};
+pub use config::{ConfigError, Protection, SystemBuilder, SystemConfig};
 pub use dvmc_coherence::Protocol;
 pub use report::{mean_std, Detection, RunReport};
 pub use system::System;
+
+/// Runs one fully-specified simulation cell to completion and returns its
+/// report.
+///
+/// This is the campaign runner's unit of work: a pure function of the
+/// configuration (plus `max_cycles`), with no ambient state, so cells can
+/// be fanned out across worker threads in any order and still produce
+/// bit-identical reports. `System` owns all its state and is `Send` (the
+/// workspace holds no `Rc`/`RefCell`; instruction streams are
+/// `Box<dyn InstrStream + Send>`).
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`SystemConfig::validate`].
+pub fn run_cell(cfg: &SystemConfig, max_cycles: u64) -> RunReport {
+    System::new(cfg.clone()).run_to_completion(max_cycles)
+}
 
 /// Runs `runs` perturbed repetitions of the configuration produced by
 /// `make` (which receives the per-run *perturbation* seed; the program
@@ -41,4 +58,19 @@ pub fn perturbed_runs(
             sys.run_to_completion(max_cycles)
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The campaign runner moves `System`s and their reports across worker
+    /// threads; this fails to compile if that ever regresses.
+    #[test]
+    fn system_and_report_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<System>();
+        assert_send::<RunReport>();
+        assert_send::<SystemConfig>();
+    }
 }

@@ -28,9 +28,26 @@ pub struct System {
     hung: bool,
 }
 
+/// `NodeId` for node index `i`, under the `System` invariant that
+/// `cfg.nodes <= u8::MAX` ([`SystemConfig::validate`] enforces it at
+/// construction, so the cast can no longer truncate).
+#[inline]
+fn nid(i: usize) -> NodeId {
+    debug_assert!(i <= u8::MAX as usize, "node index {i} exceeds NodeId range");
+    NodeId(i as u8)
+}
+
 impl System {
     /// Builds the system from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`] — use
+    /// [`crate::SystemBuilder::try_build`] to handle the error instead.
     pub fn new(cfg: SystemConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid system configuration: {e}");
+        }
         let cluster = Cluster::new(cfg.cluster_config());
         let core_cfg = cfg.core_config();
         let streams = build_streams(&cfg.workload);
@@ -74,8 +91,8 @@ impl System {
             if let Some(BerEvent::CheckpointTaken { .. }) = ber.tick(now) {
                 let bytes = ber.config().coordination_bytes;
                 for i in 1..self.cfg.nodes {
-                    self.cluster.send_ber(NodeId(i as u8), NodeId(0), bytes);
-                    self.cluster.send_ber(NodeId(0), NodeId(i as u8), bytes);
+                    self.cluster.send_ber(nid(i), NodeId(0), bytes);
+                    self.cluster.send_ber(NodeId(0), nid(i), bytes);
                 }
             }
         }
@@ -84,7 +101,7 @@ impl System {
         // that staled it can land in the same cycle, and the speculation
         // window must close first (§4.1).
         for (i, core) in self.cores.iter_mut().enumerate() {
-            let id = NodeId(i as u8);
+            let id = nid(i);
             let inv = self.cluster.drain_invalidated(id);
             core.note_invalidations(&inv);
             while let Some(resp) = self.cluster.pop_resp(id) {
@@ -111,6 +128,14 @@ impl System {
         }
     }
 
+    /// Drains each core's commit log (one `(seq, class, value)` entry per
+    /// committed memory op). Empty unless the configuration set
+    /// `record_commits`; used by the litmus conformance harness to observe
+    /// the values loads actually returned.
+    pub fn commit_logs(&mut self) -> Vec<Vec<(dvmc_types::SeqNum, dvmc_consistency::OpClass, u64)>> {
+        self.cores.iter_mut().map(Core::take_commit_log).collect()
+    }
+
     /// Debug helper: per-core retired counts plus hang flag.
     pub fn report_peek(&self) -> (Vec<u64>, bool) {
         (
@@ -123,7 +148,7 @@ impl System {
     pub fn dump(&mut self) {
         for (i, core) in self.cores.iter().enumerate() {
             eprintln!("core{i}: {}", core.dump());
-            eprintln!("node{i}: {}", self.cluster.node_mut(NodeId(i as u8)).dump());
+            eprintln!("node{i}: {}", self.cluster.node_mut(nid(i)).dump());
         }
     }
 
@@ -269,7 +294,7 @@ impl System {
             core_stats: self.cores.iter().map(Core::stats).collect(),
             replay_stats: self.cores.iter().map(Core::replay_stats).collect(),
             cache_stats: (0..self.cfg.nodes)
-                .map(|i| self.cluster.cache_stats(NodeId(i as u8)))
+                .map(|i| self.cluster.cache_stats(nid(i)))
                 .collect(),
             max_link_bytes: self.cluster.data_net().max_link_bytes(),
             total_bytes: self.cluster.data_net().total_bytes(),

@@ -35,6 +35,18 @@ pub fn perturbation_seed(seed: u64, run: u32) -> u64 {
     derive_seed(seed, 0xF00D_0000 + run as u64)
 }
 
+/// The seed for one cell of a campaign sweep: `cell` is the cell's index
+/// in the campaign's canonical (submission) order and `trial` its
+/// repetition index. Built by chaining [`derive_seed`], so every cell of
+/// every trial gets a decorrelated stream that depends only on the
+/// campaign's base seed and the cell's position — never on which worker
+/// thread runs it or in what order. This is the determinism contract of
+/// the parallel campaign runner (see `dvmc-bench`): `--jobs N` cannot
+/// change any cell's seed.
+pub fn campaign_cell_seed(base: u64, cell: u64, trial: u32) -> u64 {
+    derive_seed(derive_seed(base, 0xCA_4B ^ cell), trial as u64)
+}
+
 /// Draws a small perturbation delay (0..=max) used to jitter workload timing
 /// between runs of the same configuration.
 pub fn perturbation_delay(rng: &mut DetRng, max: u32) -> u32 {
@@ -73,6 +85,25 @@ mod tests {
         for run in 0..10 {
             assert!(seen.insert(perturbation_seed(42, run)));
         }
+    }
+
+    #[test]
+    fn campaign_cell_seeds_are_decorrelated() {
+        let mut seen = std::collections::HashSet::new();
+        for cell in 0..32 {
+            for trial in 0..4 {
+                assert!(
+                    seen.insert(campaign_cell_seed(42, cell, trial)),
+                    "cell {cell} trial {trial} collided"
+                );
+            }
+        }
+        // Pure function of (base, cell, trial).
+        assert_eq!(
+            campaign_cell_seed(7, 3, 1),
+            campaign_cell_seed(7, 3, 1)
+        );
+        assert_ne!(campaign_cell_seed(7, 3, 1), campaign_cell_seed(8, 3, 1));
     }
 
     #[test]

@@ -24,9 +24,11 @@
 //! derive per-run seeds via `dvmc_types::rng::perturbation_seed`.
 
 pub mod layout;
+pub mod litmus;
 pub mod spec;
 pub mod txn;
 
 pub use layout::Layout;
+pub use litmus::{build_litmus_streams, LitmusStream, LitmusTest};
 pub use spec::{build_streams, Profile, WorkloadKind, WorkloadParams};
 pub use txn::TxnStream;

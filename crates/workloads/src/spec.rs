@@ -1,12 +1,14 @@
 //! Workload profiles and stream construction.
 
 use crate::layout::Layout;
+use crate::litmus::LitmusTest;
 use crate::txn::TxnStream;
 use dvmc_consistency::Model;
 use dvmc_pipeline::InstrStream;
 use dvmc_types::rng::derive_seed;
 
-/// The five benchmark stand-ins (Table 8).
+/// The five benchmark stand-ins (Table 8), plus the litmus conformance
+/// shapes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum WorkloadKind {
     /// Static web serving (read-mostly).
@@ -19,6 +21,10 @@ pub enum WorkloadKind {
     Slash,
     /// Barnes-Hut n-body (SPLASH-2): barrier-phased.
     Barnes,
+    /// A fixed litmus shape (conformance suite; not part of
+    /// [`WorkloadKind::ALL`] — litmus runs are correctness probes, not
+    /// benchmarks).
+    Litmus(LitmusTest),
 }
 
 impl WorkloadKind {
@@ -39,6 +45,12 @@ impl WorkloadKind {
             WorkloadKind::Jbb => "jbb",
             WorkloadKind::Slash => "slash",
             WorkloadKind::Barnes => "barnes",
+            WorkloadKind::Litmus(LitmusTest::Sb) => "litmus-sb",
+            WorkloadKind::Litmus(LitmusTest::Mp) => "litmus-mp",
+            WorkloadKind::Litmus(LitmusTest::Lb) => "litmus-lb",
+            WorkloadKind::Litmus(LitmusTest::Wrc) => "litmus-wrc",
+            WorkloadKind::Litmus(LitmusTest::Iriw) => "litmus-iriw",
+            WorkloadKind::Litmus(LitmusTest::Corr) => "litmus-corr",
         }
     }
 }
@@ -83,8 +95,16 @@ pub struct Profile {
 
 impl Profile {
     /// The profile for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`WorkloadKind::Litmus`]: litmus programs are fixed
+    /// scripts, not parameterized transaction mixes.
     pub fn of(kind: WorkloadKind) -> Profile {
         match kind {
+            WorkloadKind::Litmus(t) => {
+                panic!("litmus workload {t} has no transaction profile")
+            }
             WorkloadKind::Apache => Profile {
                 locks_per_thread: 4,
                 locks_total: None,
@@ -185,6 +205,10 @@ pub struct WorkloadParams {
 }
 
 /// The layout implied by a parameter set.
+///
+/// # Panics
+///
+/// Panics for litmus workloads (see [`Profile::of`]).
 pub fn layout_of(params: &WorkloadParams) -> Layout {
     let profile = Profile::of(params.kind);
     let locks = profile
@@ -200,7 +224,10 @@ pub fn layout_of(params: &WorkloadParams) -> Layout {
 }
 
 /// Builds one instruction stream per thread.
-pub fn build_streams(params: &WorkloadParams) -> Vec<Box<dyn InstrStream>> {
+pub fn build_streams(params: &WorkloadParams) -> Vec<Box<dyn InstrStream + Send>> {
+    if let WorkloadKind::Litmus(test) = params.kind {
+        return crate::litmus::build_litmus_streams(test, params.threads, params.perturbation);
+    }
     let profile = Profile::of(params.kind);
     let layout = layout_of(params);
     (0..params.threads)
@@ -215,7 +242,7 @@ pub fn build_streams(params: &WorkloadParams) -> Vec<Box<dyn InstrStream>> {
                 params.transactions_per_thread,
                 seed,
                 perturbation,
-            )) as Box<dyn InstrStream>
+            )) as Box<dyn InstrStream + Send>
         })
         .collect()
 }
