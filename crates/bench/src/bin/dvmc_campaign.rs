@@ -15,6 +15,11 @@
 //!   `results/BENCH_campaign.json`)
 //! * `--canonical-out=PATH` — cells-only canonical JSON, byte-identical
 //!   across `--jobs` values (the CI smoke job diffs two of these)
+//! * `--metrics` — attach checker observability rings to every cell and
+//!   write the per-node metrics + forensics JSON (also byte-identical
+//!   across `--jobs`)
+//! * `--obs-out=PATH` — where `--metrics` writes its JSON (default
+//!   `results/BENCH_obs.json`)
 //!
 //! Per-cell seeds come from `dvmc_types::rng::campaign_cell_seed`, a
 //! SplitMix64 derivation of (base seed, cell index, trial) computed
@@ -32,7 +37,7 @@ use std::path::PathBuf;
 fn sweep_usage() -> ! {
     eprintln!(
         "usage: dvmc-campaign [--sweep=smoke|runtime|error-detection] [--out=PATH] \
-         [--canonical-out=PATH] [common exp_* flags]"
+         [--canonical-out=PATH] [--metrics] [--obs-out=PATH] [common exp_* flags]"
     );
     std::process::exit(2)
 }
@@ -111,6 +116,8 @@ fn main() {
     let mut sweep = String::from("smoke");
     let mut out = PathBuf::from("results/BENCH_campaign.json");
     let mut canonical_out: Option<PathBuf> = None;
+    let mut metrics = false;
+    let mut obs_out = PathBuf::from("results/BENCH_obs.json");
     let opts = ExpOpts::from_args_with(|key, value| match key {
         "--sweep" => {
             sweep = value.to_string();
@@ -124,15 +131,26 @@ fn main() {
             canonical_out = Some(PathBuf::from(value));
             true
         }
+        "--metrics" => {
+            metrics = true;
+            true
+        }
+        "--obs-out" => {
+            obs_out = PathBuf::from(value);
+            true
+        }
         _ => false,
     });
 
-    let campaign = match sweep.as_str() {
+    let mut campaign = match sweep.as_str() {
         "smoke" => smoke(&opts),
         "runtime" => runtime(&opts),
         "error-detection" => error_detection(&opts),
         _ => sweep_usage(),
     };
+    if metrics {
+        campaign.enable_obs(dvmc_core::obs::DEFAULT_RING_CAPACITY);
+    }
     println!(
         "campaign: sweep={sweep}, {} cells, {} jobs, {} nodes, {} txns/thread, seed {}",
         campaign.len(),
@@ -182,5 +200,13 @@ fn main() {
         std::fs::write(&path, result.canonical_json())
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         eprintln!("[campaign] wrote {} (canonical)", path.display());
+    }
+    if metrics {
+        if let Some(dir) = obs_out.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&obs_out, result.obs_json())
+            .unwrap_or_else(|e| panic!("write {}: {e}", obs_out.display()));
+        eprintln!("[campaign] wrote {} (observability)", obs_out.display());
     }
 }

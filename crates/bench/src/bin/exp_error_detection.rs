@@ -11,6 +11,10 @@
 //! random sequence per (model, protocol) is fixed by the seed), so the
 //! trial set — and therefore every number below — is independent of
 //! `--jobs`.
+//!
+//! Observability rings are attached to every trial, so each detection is
+//! attributed to the checker event chain that led up to it (the forensics
+//! listing after the coverage table).
 
 use dvmc_bench::{print_table, Campaign, ExpOpts};
 use dvmc_consistency::Model;
@@ -112,6 +116,9 @@ fn main() {
             MAX_CYCLES,
         );
     }
+    // Event rings on every trial: each detection must be attributable to
+    // the checker event chain that produced it.
+    campaign.enable_obs(16);
     let result = campaign.run(opts.jobs);
 
     // Phase 2: aggregate the random-plan sweep (the paper's design).
@@ -194,4 +201,34 @@ fn main() {
     );
     println!("\n(The paper reports every injected error detected within the SafetyNet");
     println!(" window of ~100k cycles; hang-class faults are detected by timeout.)");
+
+    // Forensics: the checker event chain behind every detection. Every
+    // detection must carry one — a detection we cannot attribute would
+    // mean a checker fired without recording its own activity.
+    println!("\n=== detection forensics (checker event chains) ===");
+    for outcome in result.outcomes() {
+        let report = &outcome.report;
+        if report.detection.is_none() {
+            continue;
+        }
+        let forensics = report
+            .forensics
+            .as_ref()
+            .unwrap_or_else(|| panic!("detection without forensics: {}", outcome.tag));
+        assert!(
+            !forensics.trace.is_empty(),
+            "empty forensic trace for {}: node{} at cycle {}",
+            outcome.tag,
+            forensics.node.index(),
+            forensics.cycle
+        );
+        println!(
+            "{}[{}]: node{} @{}: {}",
+            outcome.tag,
+            outcome.trial,
+            forensics.node.index(),
+            forensics.cycle,
+            forensics.chain()
+        );
+    }
 }

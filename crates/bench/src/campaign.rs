@@ -27,6 +27,7 @@
 //! `--jobs=8`; a regression test and the CI smoke job both assert this.
 
 use crate::ExpOpts;
+use dvmc_core::ObsMetrics;
 use dvmc_sim::{RunReport, SystemConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -64,6 +65,7 @@ pub struct CellOutcome {
 #[derive(Clone, Debug, Default)]
 pub struct Campaign {
     cells: Vec<Cell>,
+    obs_capacity: usize,
 }
 
 impl Campaign {
@@ -87,15 +89,29 @@ impl Campaign {
         &mut self,
         tag: impl Into<String>,
         trial: u32,
-        cfg: SystemConfig,
+        mut cfg: SystemConfig,
         max_cycles: u64,
     ) {
+        if self.obs_capacity > 0 {
+            cfg.obs_capacity = self.obs_capacity;
+        }
         self.cells.push(Cell {
             tag: tag.into(),
             trial,
             cfg,
             max_cycles,
         });
+    }
+
+    /// Attaches checker observability rings of `capacity` events to every
+    /// queued and future cell (the `--metrics` flag). Metrics are pure
+    /// simulation quantities, so the determinism contract extends to
+    /// [`CampaignResult::obs_json`].
+    pub fn enable_obs(&mut self, capacity: usize) {
+        self.obs_capacity = capacity;
+        for cell in &mut self.cells {
+            cell.cfg.obs_capacity = capacity;
+        }
     }
 
     /// Queues `opts.runs` perturbed trials of `spec` under `tag`, with
@@ -272,11 +288,20 @@ impl CampaignResult {
                 ),
                 None => "null".into(),
             };
+            let obs = if r.obs.is_empty() {
+                "null".to_string()
+            } else {
+                let mut total = ObsMetrics::default();
+                for m in &r.obs {
+                    total.merge(m);
+                }
+                obs_metrics_json(&total)
+            };
             out.push_str(&format!(
                 "    {{\"tag\": {}, \"trial\": {}, \"cycles\": {}, \"transactions\": {}, \
                  \"completed\": {}, \"hung\": {}, \"violations\": {}, \"detection\": {}, \
                  \"max_link_bytes\": {}, \"total_bytes\": {}, \"checker_bytes\": {}, \
-                 \"ber_bytes\": {}}}{}\n",
+                 \"ber_bytes\": {}, \"obs\": {}}}{}\n",
                 json_str(&o.tag),
                 o.trial,
                 r.cycles,
@@ -289,6 +314,7 @@ impl CampaignResult {
                 r.total_bytes,
                 r.checker_bytes,
                 r.ber_bytes,
+                obs,
                 if i + 1 < self.outcomes.len() { "," } else { "" }
             ));
         }
@@ -314,6 +340,39 @@ impl CampaignResult {
         )
     }
 
+    /// Deterministic observability JSON (the `--metrics` artifact,
+    /// `results/BENCH_obs.json`): per-cell, per-node checker metrics plus
+    /// the forensic event chain of any detection, in submission order.
+    /// Simulation quantities only — byte-identical regardless of
+    /// `--jobs`, like [`canonical_json`](Self::canonical_json).
+    pub fn obs_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"dvmc-campaign-obs/v1\",\n  \"cells\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let r = &o.report;
+            let nodes: Vec<String> = r.obs.iter().map(obs_metrics_json).collect();
+            let forensics = match &r.forensics {
+                Some(f) => format!(
+                    "{{\"node\": {}, \"cycle\": {}, \"events\": {}, \"chain\": {}}}",
+                    f.node.index(),
+                    f.cycle,
+                    f.trace.len(),
+                    json_str(&f.chain())
+                ),
+                None => "null".into(),
+            };
+            out.push_str(&format!(
+                "    {{\"tag\": {}, \"trial\": {}, \"nodes\": [{}], \"forensics\": {}}}{}\n",
+                json_str(&o.tag),
+                o.trial,
+                nodes.join(", "),
+                forensics,
+                if i + 1 < self.outcomes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Writes the full JSON to `path`, creating parent directories.
     ///
     /// # Panics
@@ -333,6 +392,30 @@ impl CampaignResult {
             self.speedup()
         );
     }
+}
+
+/// One [`ObsMetrics`] as a JSON object with a fixed key order.
+fn obs_metrics_json(m: &ObsMetrics) -> String {
+    format!(
+        "{{\"events\": {}, \"vc_allocs\": {}, \"vc_deallocs\": {}, \"replay_vc_hits\": {}, \
+         \"replay_cache_reads\": {}, \"max_op_updates\": {}, \"membar_checks\": {}, \
+         \"epoch_opens\": {}, \"epoch_closes\": {}, \"scrubs\": {}, \"informs_enqueued\": {}, \
+         \"informs_reordered\": {}, \"crc_checks\": {}, \"sorter_occupancy_hwm\": {}}}",
+        m.events,
+        m.vc_allocs,
+        m.vc_deallocs,
+        m.replay_vc_hits,
+        m.replay_cache_reads,
+        m.max_op_updates,
+        m.membar_checks,
+        m.epoch_opens,
+        m.epoch_closes,
+        m.scrubs,
+        m.informs_enqueued,
+        m.informs_reordered,
+        m.crc_checks,
+        m.sorter_occupancy_hwm
+    )
 }
 
 /// Minimal JSON string escaping (tags are ASCII identifiers, but quote
@@ -429,5 +512,31 @@ mod tests {
         let result = Campaign::new().run(4);
         assert!(result.outcomes().is_empty());
         assert!(result.canonical_json().contains("\"cells\": [\n  ]"));
+    }
+
+    #[test]
+    fn obs_json_is_byte_identical_across_jobs() {
+        let opts = tiny_opts();
+        let build = || {
+            let mut campaign = Campaign::new();
+            campaign.push_spec(&opts, "jbb", RunSpec::new(&opts, WorkloadKind::Jbb));
+            campaign.enable_obs(16);
+            campaign
+        };
+        let serial = build().run(1);
+        let parallel = build().run(2);
+        assert_eq!(serial.obs_json(), parallel.obs_json());
+        assert_eq!(serial.canonical_json(), parallel.canonical_json());
+        // The instrumented cells actually recorded checker activity …
+        let obs = serial.obs_json();
+        assert!(obs.contains("\"schema\": \"dvmc-campaign-obs/v1\""));
+        assert!(obs.contains("\"vc_allocs\""));
+        assert!(serial.canonical_json().contains("\"obs\": {"));
+        // … while an uninstrumented campaign reports none.
+        let mut plain = Campaign::new();
+        plain.push_spec(&opts, "jbb", RunSpec::new(&opts, WorkloadKind::Jbb));
+        let plain = plain.run(1);
+        assert!(plain.canonical_json().contains("\"obs\": null"));
+        assert!(plain.obs_json().contains("\"nodes\": []"));
     }
 }

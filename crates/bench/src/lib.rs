@@ -66,17 +66,20 @@ impl ExpOpts {
         Self::from_args_with(|_, _| false)
     }
 
-    /// Like [`from_args`](Self::from_args), but offers each `--key=value`
-    /// pair to `extra` first; a `true` return consumes the argument
-    /// (binaries with flags beyond the common set, e.g. `dvmc-campaign`).
+    /// Like [`from_args`](Self::from_args), but offers each argument to
+    /// `extra` first; a `true` return consumes it (binaries with flags
+    /// beyond the common set, e.g. `dvmc-campaign`). A bare flag without
+    /// `=` reaches `extra` with an empty value (`--metrics` style); the
+    /// common flags below all require `--key=value`.
     pub fn from_args_with(mut extra: impl FnMut(&str, &str) -> bool) -> ExpOpts {
         let mut o = ExpOpts::default();
         for arg in std::env::args().skip(1) {
-            let Some((key, value)) = arg.split_once('=') else {
-                usage(&arg);
-            };
+            let (key, value) = arg.split_once('=').unwrap_or((arg.as_str(), ""));
             if extra(key, value) {
                 continue;
+            }
+            if !arg.contains('=') {
+                usage(&arg);
             }
             match key {
                 "--runs" => o.runs = value.parse().unwrap_or_else(|_| usage(&arg)),

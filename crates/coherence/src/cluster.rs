@@ -309,6 +309,27 @@ impl Cluster {
     pub fn home_mut(&mut self, node: NodeId) -> &mut HomeCtrl {
         &mut self.homes[node.index()]
     }
+
+    /// Attaches bounded event rings to every CET and home checker
+    /// (observability; disabled by default).
+    pub fn enable_obs(&mut self, capacity: usize) {
+        for node in &mut self.nodes {
+            node.enable_obs(capacity);
+        }
+        for home in &mut self.homes {
+            home.enable_obs(capacity);
+        }
+    }
+
+    /// The enabled event rings of one node's coherence checkers (CET
+    /// first, then the home's MET side).
+    pub fn obs_rings(&self, node: NodeId) -> Vec<&dvmc_core::ObsRing> {
+        self.nodes[node.index()]
+            .obs()
+            .into_iter()
+            .chain(self.homes[node.index()].obs())
+            .collect()
+    }
 }
 
 impl std::fmt::Debug for Cluster {

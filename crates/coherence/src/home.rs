@@ -213,6 +213,19 @@ impl HomeCtrl {
         self.checker.as_ref()
     }
 
+    /// Attaches a bounded event ring to the home checker (observability;
+    /// disabled by default, no-op without verification).
+    pub fn enable_obs(&mut self, capacity: usize) {
+        if let Some(chk) = self.checker.as_mut() {
+            chk.enable_obs(capacity);
+        }
+    }
+
+    /// The home checker's event ring, if enabled.
+    pub fn obs(&self) -> Option<&dvmc_core::ObsRing> {
+        self.checker.as_ref().and_then(HomeChecker::obs)
+    }
+
     /// Whether the controller is idle.
     pub fn is_quiescent(&self) -> bool {
         self.busy.is_empty()
@@ -412,6 +425,9 @@ impl HomeCtrl {
     /// Advances the controller one cycle.
     pub fn tick(&mut self, now: Cycle) {
         self.now = now;
+        if let Some(o) = self.checker.as_mut().and_then(HomeChecker::obs_mut) {
+            o.set_now(now);
+        }
         // Release memory-latency-delayed responses.
         let mut i = 0;
         while i < self.out_delayed.len() {

@@ -213,6 +213,17 @@ impl CacheNode {
         &self.cet
     }
 
+    /// Attaches a bounded event ring to the CET (observability; disabled
+    /// by default).
+    pub fn enable_obs(&mut self, capacity: usize) {
+        self.cet.enable_obs(capacity);
+    }
+
+    /// The CET's event ring, if enabled.
+    pub fn obs(&self) -> Option<&dvmc_core::ObsRing> {
+        self.cet.obs()
+    }
+
     /// One-line internal state dump for debugging stuck systems.
     pub fn dump(&self) -> String {
         format!(
@@ -411,6 +422,9 @@ impl CacheNode {
     /// Advances the controller one cycle.
     pub fn tick(&mut self, now: Cycle) {
         self.now = now;
+        if let Some(o) = self.cet.obs_mut() {
+            o.set_now(now);
+        }
         self.process_snoops();
         self.process_inbox();
         self.process_proc();
@@ -771,7 +785,11 @@ impl CacheNode {
             return Vec::new();
         }
         let now = self.logical_now();
-        let blocks: Vec<BlockAddr> = self.cet.blocks().collect();
+        // Address order, not HashMap order: the flush must emit the same
+        // message sequence every run (the campaign determinism contract
+        // covers arrival-order metrics like `informs_reordered`).
+        let mut blocks: Vec<BlockAddr> = self.cet.blocks().collect();
+        blocks.sort_unstable();
         let mut out = Vec::new();
         for block in blocks {
             let ready = self.cet.entry(block).is_some_and(|e| e.data_ready);

@@ -1,6 +1,7 @@
 //! The Cache Epoch Table kept by each cache controller (§4.3).
 
 use super::epoch::{EpochEnd, EpochKind, InformClosedEpoch, InformEpoch, InformOpenEpoch};
+use crate::obs::{CheckerEvent, EventSink, ObsRing};
 use crate::violation::{CoherenceViolation, Violation};
 use dvmc_types::{BlockAddr, NodeId, Ts16};
 use std::collections::{HashMap, VecDeque};
@@ -54,6 +55,7 @@ pub struct CacheEpochTable {
     node: NodeId,
     entries: HashMap<BlockAddr, CetEntry>,
     scrub: VecDeque<ScrubRec>,
+    obs: Option<ObsRing>,
 }
 
 impl CacheEpochTable {
@@ -63,7 +65,24 @@ impl CacheEpochTable {
             node,
             entries: HashMap::new(),
             scrub: VecDeque::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches an event ring retaining `capacity` events. Observability
+    /// is off (and free) until this is called.
+    pub fn enable_obs(&mut self, capacity: usize) {
+        self.obs = Some(ObsRing::new(capacity));
+    }
+
+    /// The event ring, when observability is enabled.
+    pub fn obs(&self) -> Option<&ObsRing> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable ring access (the owner stamps the current cycle each tick).
+    pub fn obs_mut(&mut self) -> Option<&mut ObsRing> {
+        self.obs.as_mut()
     }
 
     /// Begins an epoch for `addr`. `data_hash` is `Some` if the block data
@@ -97,6 +116,9 @@ impl CacheEpochTable {
             start: now,
             deadline: now.scrub_deadline(),
         });
+        if let Some(o) = self.obs.as_mut() {
+            o.record(CheckerEvent::EpochOpen { addr, at: now });
+        }
     }
 
     /// Records the arrival of data for an epoch begun without it.
@@ -139,6 +161,9 @@ impl CacheEpochTable {
     /// a block this cache no longer holds).
     pub fn end_epoch(&mut self, addr: BlockAddr, now: Ts16, end_hash: u16) -> Option<EpochEnd> {
         let entry = self.entries.remove(&addr)?;
+        if let Some(o) = self.obs.as_mut() {
+            o.record(CheckerEvent::EpochClose { addr, at: now });
+        }
         Some(if entry.reported_open {
             EpochEnd::Closed(InformClosedEpoch {
                 addr,
@@ -190,6 +215,9 @@ impl CacheEpochTable {
                         start: e.start,
                         start_hash: e.start_hash,
                     });
+                    if let Some(o) = self.obs.as_mut() {
+                        o.record(CheckerEvent::EpochScrub { addr: head.addr });
+                    }
                 }
             }
         }
@@ -329,6 +357,22 @@ mod tests {
         // Deadline wraps around zero; an early "now" after wrap triggers it.
         let opens = c.scrub_tick(Ts16(late.0.wrapping_add(Ts16::WINDOW / 8)));
         assert_eq!(opens.len(), 1);
+    }
+
+    #[test]
+    fn obs_records_epoch_lifecycle() {
+        let mut c = cet();
+        c.enable_obs(8);
+        let b = BlockAddr(3);
+        c.begin_epoch(b, EpochKind::ReadWrite, Ts16(0), Some(0x77));
+        let _ = c.scrub_tick(Ts16(Ts16::WINDOW / 8));
+        let _ = c.end_epoch(b, Ts16(9000), 0x78);
+        let m = c.obs().unwrap().metrics();
+        assert_eq!(m.epoch_opens, 1);
+        assert_eq!(m.scrubs, 1);
+        assert_eq!(m.epoch_closes, 1);
+        let names: Vec<&str> = c.obs().unwrap().events().map(|e| e.event.name()).collect();
+        assert_eq!(names, ["epoch-open", "epoch-scrub", "epoch-close"]);
     }
 
     #[test]

@@ -221,6 +221,11 @@ impl MemoryEpochTable {
     /// informs carry starts at most an eighth of a window old (longer
     /// epochs are reported open by then), and Open messages are sent at
     /// that same deadline. Call at least every quarter window.
+    ///
+    /// An end sitting at *exactly* half a window from the horizon (only
+    /// reachable when scrubbing has already fallen behind its cadence)
+    /// resolves through the deterministic [`Ts16::earlier_than`]
+    /// tie-break instead of silently comparing as "neither earlier".
     pub fn scrub(&mut self, now: Ts16) {
         let horizon = Ts16(now.0.wrapping_sub(Ts16::WINDOW / 4));
         for e in self.entries.values_mut() {
@@ -496,6 +501,31 @@ mod tests {
         assert_eq!(met.len(), 1);
         assert!(!met.is_empty());
         assert_eq!(met.node(), NodeId(0));
+    }
+
+    #[test]
+    fn scrub_at_exact_half_window_staleness_is_deterministic() {
+        // An end exactly half a window behind the scrub horizon used to
+        // compare as "neither earlier" in both directions; the Ts16
+        // tie-break (smaller raw value is earlier) now resolves it the same
+        // way every run.
+        let b = BlockAddr(1);
+        let mut met = MemoryEpochTable::new(NodeId(0));
+        met.ensure_entry(b, Ts16(0x1000), 0xA);
+        // horizon = 0xB000 - WINDOW/4 = 0x9000; delta(0x1000 -> 0x9000) is
+        // i16::MIN, and 0x1000 < 0x9000 makes the entry "earlier": clamped.
+        met.scrub(Ts16(0xB000));
+        assert_eq!(met.entry(b).unwrap().last_ro_end, Ts16(0x9000));
+        assert_eq!(met.entry(b).unwrap().last_rw_end, Ts16(0x9000));
+
+        let c = BlockAddr(2);
+        let mut met2 = MemoryEpochTable::new(NodeId(0));
+        met2.ensure_entry(c, Ts16(0x9000), 0xA);
+        // horizon = 0x3000 - WINDOW/4 = 0x1000; same ambiguous distance,
+        // but 0x9000 > 0x1000 so the entry is *later*: left untouched.
+        met2.scrub(Ts16(0x3000));
+        assert_eq!(met2.entry(c).unwrap().last_ro_end, Ts16(0x9000));
+        assert_eq!(met2.entry(c).unwrap().last_rw_end, Ts16(0x9000));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub use epoch::{EpochEnd, EpochKind, EpochMessage, InformClosedEpoch, InformEpoc
 pub use met::{MemoryEpochTable, MetEntry};
 pub use sorter::EpochSorter;
 
+use crate::obs::{CheckerEvent, EventSink, ObsRing};
 use crate::violation::Violation;
 use dvmc_types::Ts16;
 
@@ -67,6 +68,10 @@ use dvmc_types::Ts16;
 pub struct HomeChecker {
     sorter: EpochSorter,
     met: MemoryEpochTable,
+    /// Sort time of the most recently arrived message, for detecting
+    /// out-of-order arrival (the condition the sorter exists to repair).
+    last_arrival: Option<Ts16>,
+    obs: Option<ObsRing>,
 }
 
 impl HomeChecker {
@@ -76,6 +81,30 @@ impl HomeChecker {
         HomeChecker {
             sorter: EpochSorter::new(queue_capacity),
             met: MemoryEpochTable::new(node),
+            last_arrival: None,
+            obs: None,
+        }
+    }
+
+    /// Attaches a bounded event ring (observability; disabled by default).
+    pub fn enable_obs(&mut self, capacity: usize) {
+        self.obs = Some(ObsRing::new(capacity));
+    }
+
+    /// The event ring, if enabled.
+    pub fn obs(&self) -> Option<&ObsRing> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable access to the event ring (for cycle stamping), if enabled.
+    pub fn obs_mut(&mut self) -> Option<&mut ObsRing> {
+        self.obs.as_mut()
+    }
+
+    #[inline]
+    fn note(&mut self, event: CheckerEvent) {
+        if let Some(o) = self.obs.as_mut() {
+            o.record(event);
         }
     }
 
@@ -86,8 +115,20 @@ impl HomeChecker {
     ///
     /// Propagates any violation found while processing displaced messages.
     pub fn push(&mut self, msg: EpochMessage) -> Result<(), Violation> {
+        if self.obs.is_some() {
+            let addr = msg.addr();
+            let t = msg.sort_time();
+            if let Some(last) = self.last_arrival {
+                if t.earlier_than(last) {
+                    self.note(CheckerEvent::InformReorder { addr });
+                }
+            }
+            self.last_arrival = Some(self.last_arrival.map_or(t, |l| l.max_windowed(t)));
+            let queued = (self.sorter.len() + 1) as u32;
+            self.note(CheckerEvent::InformEnqueue { addr, queued });
+        }
         for ready in self.sorter.push(msg) {
-            self.met.process(&ready)?;
+            self.process_ready(&ready)?;
         }
         Ok(())
     }
@@ -100,7 +141,7 @@ impl HomeChecker {
     /// Returns the first violation detected.
     pub fn drain_older_than(&mut self, watermark: Ts16) -> Result<(), Violation> {
         for ready in self.sorter.drain_older_than(watermark) {
-            self.met.process(&ready)?;
+            self.process_ready(&ready)?;
         }
         Ok(())
     }
@@ -112,9 +153,16 @@ impl HomeChecker {
     /// Returns the first violation detected.
     pub fn flush(&mut self) -> Result<(), Violation> {
         for ready in self.sorter.flush() {
-            self.met.process(&ready)?;
+            self.process_ready(&ready)?;
         }
         Ok(())
+    }
+
+    /// MET-checks one sorted message; every epoch message carries data
+    /// hashes, so each check is a CRC comparison against the hash chain.
+    fn process_ready(&mut self, msg: &EpochMessage) -> Result<(), Violation> {
+        self.note(CheckerEvent::CrcCheck { addr: msg.addr() });
+        self.met.process(msg)
     }
 
     /// The underlying MET.
@@ -130,6 +178,7 @@ impl HomeChecker {
     /// Runs the MET stale-timestamp scrub (call at least every quarter
     /// window of logical time).
     pub fn scrub(&mut self, now: Ts16) {
+        self.note(CheckerEvent::MetScrub { at: now });
         self.met.scrub(now);
     }
 
@@ -188,6 +237,25 @@ mod tests {
         home.push(ro(1, 2, 5, 9, 0x22)).unwrap();
         let err = home.flush().unwrap_err();
         assert!(matches!(err, Violation::Coherence(_)), "{err}");
+    }
+
+    #[test]
+    fn obs_records_sorter_traffic_and_crc_checks() {
+        let mut home = HomeChecker::new(NodeId(0), 256);
+        home.enable_obs(16);
+        home.met_mut().ensure_entry(BlockAddr(1), Ts16(0), 0x11);
+        // In-order arrival, then one message that arrives late (earlier
+        // sort time than its predecessor): a reorder the sorter repairs.
+        home.push(ro(1, 2, 6, 9, 0x22)).unwrap();
+        home.push(rw(1, 1, 2, 6, 0x11, 0x22)).unwrap();
+        home.scrub(Ts16(64));
+        home.flush().unwrap();
+        let m = home.obs().unwrap().metrics();
+        assert_eq!(m.informs_enqueued, 2);
+        assert_eq!(m.informs_reordered, 1, "late RW inform flagged");
+        assert_eq!(m.crc_checks, 2, "one MET check per message");
+        assert_eq!(m.scrubs, 1);
+        assert_eq!(m.sorter_occupancy_hwm, 2);
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl EpochSorter {
     ///
     /// The caller picks a watermark far enough in the logical past that no
     /// older message can still be in flight (arrival order is strongly
-    /// correlated with epoch start time).
+    /// correlated with epoch start time). A queued start at *exactly* half
+    /// a window from the watermark resolves through the deterministic
+    /// [`Ts16::earlier_than`] tie-break (the smaller raw value is earlier),
+    /// so a message can never straddle the boundary undrained forever.
     pub fn drain_older_than(&mut self, watermark: Ts16) -> Vec<EpochMessage> {
         let mut out = Vec::new();
         while let Some(min) = self.peek_min_time() {
@@ -93,6 +96,11 @@ impl EpochSorter {
     /// behind the last released timestamp. Live timestamps may *lag* the
     /// watermark by up to the scrub deadline (a long epoch's start), so
     /// distances must be measured from behind the watermark, not at it.
+    /// Anchoring at the reference makes the key a *total* order over the
+    /// whole `u16` ring — two queued timestamps exactly half a window
+    /// apart still get distinct, deterministic keys — while the watermark
+    /// advance in `pop_min` relies on the `Ts16` half-window tie-break to
+    /// stay monotonic.
     fn distance(&self, t: Ts16) -> u16 {
         let reference = self.watermark.0.wrapping_sub(Ts16::WINDOW / 2);
         t.0.wrapping_sub(reference)
@@ -207,6 +215,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = EpochSorter::new(0);
+    }
+
+    #[test]
+    fn drain_at_exact_half_window_uses_the_tie_break() {
+        let mut q = EpochSorter::new(4);
+        q.push(msg(0x1000));
+        // The drain boundary sits exactly half a window ahead of the queued
+        // start: the raw sign test saw delta == i16::MIN in both directions
+        // and left the message queued forever; the deterministic tie-break
+        // (0x1000 < 0x9000) releases it.
+        assert_eq!(starts(&q.drain_older_than(Ts16(0x9000))), vec![0x1000]);
+        assert!(q.is_empty());
     }
 
     proptest! {

@@ -34,6 +34,7 @@
 
 pub mod coherence;
 pub mod cost;
+pub mod obs;
 pub mod reorder;
 pub mod trace;
 pub mod uniproc;
@@ -43,6 +44,7 @@ pub use coherence::{
     CacheEpochTable, EpochKind, EpochMessage, EpochSorter, HomeChecker, InformEpoch,
     MemoryEpochTable,
 };
+pub use obs::{CheckerEvent, EventSink, ObsMetrics, ObsRing, TimedEvent, ViolationReport};
 pub use reorder::ReorderChecker;
 pub use trace::{TraceChecker, TraceEvent};
 pub use uniproc::{ReplayLookup, UniprocChecker, UniprocCheckerConfig, UniprocStats};

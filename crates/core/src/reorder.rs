@@ -21,6 +21,7 @@
 //! consistency models (runtime model switching; 32-bit code regions run
 //! TSO), and membar ordering requirements computed from the 4-bit mask.
 
+use crate::obs::{CheckerEvent, EventSink, ObsRing};
 use crate::violation::{LostOpViolation, ReorderViolation, Violation};
 use dvmc_consistency::{Model, OpClass, OpKind, Requirement};
 use std::collections::BTreeSet;
@@ -80,12 +81,29 @@ pub struct ReorderChecker {
     /// Performed-before-commit operations (RMO loads), per counter class.
     early_performed: [BTreeSet<SeqNum>; N_KINDS],
     checks: u64,
+    obs: Option<ObsRing>,
 }
 
 impl ReorderChecker {
     /// Creates a checker with empty counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches an event ring retaining `capacity` events. Observability
+    /// is off (and free) until this is called.
+    pub fn enable_obs(&mut self, capacity: usize) {
+        self.obs = Some(ObsRing::new(capacity));
+    }
+
+    /// The event ring, when observability is enabled.
+    pub fn obs(&self) -> Option<&ObsRing> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable ring access (the owner stamps the current cycle each tick).
+    pub fn obs_mut(&mut self) -> Option<&mut ObsRing> {
+        self.obs.as_mut()
     }
 
     /// Records that the operation `seq` of class `class`, decoded under
@@ -117,8 +135,12 @@ impl ReorderChecker {
         self.check_ordering(seq, class, model)?;
         if class.is_barrier() {
             self.check_lost_ops(seq, class, model)?;
+            if let Some(o) = self.obs.as_mut() {
+                o.record(CheckerEvent::MembarCheck { seq });
+            }
         }
         // All checks passed: update the max counters and outstanding sets.
+        let mut advanced = false;
         for &kind in class.kinds() {
             let k = kind.index();
             if !self.outstanding[k].remove(&seq) {
@@ -127,6 +149,12 @@ impl ReorderChecker {
             let slot = &mut self.max_perf[k][model_index(model)];
             if slot.is_none_or(|m| m < seq) {
                 *slot = Some(seq);
+                advanced = true;
+            }
+        }
+        if advanced {
+            if let Some(o) = self.obs.as_mut() {
+                o.record(CheckerEvent::MaxOpUpdate { seq });
             }
         }
         let mask = class.membar_mask();
@@ -545,6 +573,23 @@ mod tests {
             .op_performed(SeqNum(0), OpClass::Store, Model::Tso)
             .unwrap_err();
         assert!(matches!(err, Violation::Reorder(_)));
+    }
+
+    #[test]
+    fn obs_records_counter_updates_and_membar_checks() {
+        let mut chk = ReorderChecker::new();
+        chk.enable_obs(16);
+        commit_all(
+            &mut chk,
+            &[(0, OpClass::Store), (1, OpClass::Membar(M::ALL))],
+            Model::Tso,
+        );
+        chk.op_performed(SeqNum(0), OpClass::Store, Model::Tso).unwrap();
+        chk.op_performed(SeqNum(1), OpClass::Membar(M::ALL), Model::Tso)
+            .unwrap();
+        let m = chk.obs().unwrap().metrics();
+        assert_eq!(m.max_op_updates, 2, "store and membar both advanced a counter");
+        assert_eq!(m.membar_checks, 1);
     }
 
     #[test]

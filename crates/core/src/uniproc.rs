@@ -23,6 +23,7 @@
 //! ([`UniprocCheckerConfig::cache_load_values`], the optimization cited
 //! from dynamic verification of single-threaded execution).
 
+use crate::obs::{CheckerEvent, EventSink, ObsRing};
 use crate::violation::{UniprocViolation, Violation};
 use dvmc_types::WordAddr;
 use std::collections::hash_map::Entry;
@@ -106,6 +107,7 @@ pub struct UniprocChecker {
     load_lru: VecDeque<WordAddr>,
     store_entries: usize,
     stats: UniprocStats,
+    obs: Option<ObsRing>,
 }
 
 impl UniprocChecker {
@@ -117,6 +119,30 @@ impl UniprocChecker {
             load_lru: VecDeque::new(),
             store_entries: 0,
             stats: UniprocStats::default(),
+            obs: None,
+        }
+    }
+
+    /// Attaches an event ring retaining `capacity` events. Observability
+    /// is off (and free) until this is called.
+    pub fn enable_obs(&mut self, capacity: usize) {
+        self.obs = Some(ObsRing::new(capacity));
+    }
+
+    /// The event ring, when observability is enabled.
+    pub fn obs(&self) -> Option<&ObsRing> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable ring access (the owner stamps the current cycle each tick).
+    pub fn obs_mut(&mut self) -> Option<&mut ObsRing> {
+        self.obs.as_mut()
+    }
+
+    #[inline]
+    fn note(&mut self, event: CheckerEvent) {
+        if let Some(o) = self.obs.as_mut() {
+            o.record(event);
         }
     }
 
@@ -124,7 +150,7 @@ impl UniprocChecker {
     /// Commits must be reported in program order; the VC entry tracks the
     /// most recent committed value for the word.
     pub fn store_committed(&mut self, addr: WordAddr, value: u64) {
-        match self.vc.entry(addr) {
+        let allocated = match self.vc.entry(addr) {
             Entry::Occupied(mut e) => {
                 let entry = e.get_mut();
                 if entry.pending_stores == 0 {
@@ -133,6 +159,7 @@ impl UniprocChecker {
                 }
                 entry.value = value;
                 entry.pending_stores += 1;
+                false
             }
             Entry::Vacant(v) => {
                 v.insert(VcEntry {
@@ -140,7 +167,11 @@ impl UniprocChecker {
                     pending_stores: 1,
                 });
                 self.store_entries += 1;
+                true
             }
+        };
+        if allocated {
+            self.note(CheckerEvent::VcAlloc { addr });
         }
     }
 
@@ -173,6 +204,7 @@ impl UniprocChecker {
             self.note_load_entry(addr);
         } else {
             self.vc.remove(&addr);
+            self.note(CheckerEvent::VcDealloc { addr });
         }
         if vc_value != cache_value {
             return Err(UniprocViolation::StoreDeallocMismatch {
@@ -206,6 +238,7 @@ impl UniprocChecker {
                     value,
                     pending_stores: 0,
                 });
+                self.note(CheckerEvent::VcAlloc { addr });
                 self.note_load_entry(addr);
             }
         }
@@ -225,8 +258,9 @@ impl UniprocChecker {
         original_value: u64,
     ) -> Result<ReplayLookup, Violation> {
         self.stats.replays += 1;
-        if let Some(entry) = self.vc.get(&addr) {
+        if let Some(entry) = self.vc.get(&addr).copied() {
             self.stats.vc_hits += 1;
+            self.note(CheckerEvent::ReplayVcHit { addr });
             if entry.value != original_value {
                 return Err(UniprocViolation::LoadMismatch {
                     addr,
@@ -238,6 +272,7 @@ impl UniprocChecker {
             return Ok(ReplayLookup::VcHit);
         }
         self.stats.cache_reads += 1;
+        self.note(CheckerEvent::ReplayCacheRead { addr });
         Ok(ReplayLookup::NeedCache)
     }
 
@@ -291,6 +326,7 @@ impl UniprocChecker {
             if let Some(e) = self.vc.get(&victim) {
                 if e.pending_stores == 0 {
                     self.vc.remove(&victim);
+                    self.note(CheckerEvent::VcDealloc { addr: victim });
                 }
             }
         }
@@ -428,6 +464,25 @@ mod tests {
             chk.replay_load(WordAddr(100), 0).unwrap(),
             ReplayLookup::NeedCache
         );
+    }
+
+    #[test]
+    fn obs_records_vc_lifecycle_and_replay_outcomes() {
+        let mut chk = UniprocChecker::default();
+        chk.enable_obs(16);
+        chk.store_committed(WordAddr(8), 1);
+        assert_eq!(chk.replay_load(WordAddr(8), 1).unwrap(), ReplayLookup::VcHit);
+        chk.store_performed(WordAddr(8), 1).unwrap();
+        assert_eq!(
+            chk.replay_load(WordAddr(8), 1).unwrap(),
+            ReplayLookup::NeedCache
+        );
+        let m = chk.obs().unwrap().metrics();
+        assert_eq!(m.vc_allocs, 1);
+        assert_eq!(m.vc_deallocs, 1);
+        assert_eq!(m.replay_vc_hits, 1);
+        assert_eq!(m.replay_cache_reads, 1);
+        assert_eq!(m.events, 4);
     }
 
     #[test]

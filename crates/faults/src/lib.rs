@@ -103,6 +103,26 @@ impl Fault {
             Fault::MemCtrlForgetOwner { .. } => "memctrl-state",
         }
     }
+
+    /// The node the fault is located at, for faults tied to one node
+    /// (`None` for network faults, which act on links).
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            Fault::CacheBitFlip { node }
+            | Fault::MemoryBitFlip { node }
+            | Fault::WbDropStore { node }
+            | Fault::WbReorderStores { node }
+            | Fault::WbCorruptValue { node }
+            | Fault::WbAddressFlip { node }
+            | Fault::LsqWrongForward { node }
+            | Fault::CacheCtrlBogusUpgrade { node }
+            | Fault::MemCtrlForgetOwner { node } => Some(*node),
+            Fault::DropMessage
+            | Fault::DuplicateMessage
+            | Fault::MisrouteMessage { .. }
+            | Fault::ReorderMessage { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for Fault {
@@ -231,5 +251,65 @@ mod tests {
         let faults = all_faults(NodeId(0), NodeId(1));
         let cats: std::collections::HashSet<_> = faults.iter().map(super::Fault::category).collect();
         assert_eq!(cats.len(), faults.len(), "one entry per category");
+    }
+
+    /// `exp_error_detection`'s per-category table is generated from
+    /// [`all_faults`], so a variant missing there silently vanishes from
+    /// the experiment. The wildcard-free match below stops compiling when a
+    /// variant is added, forcing this list — and through it the coverage
+    /// sweep — to be extended.
+    #[test]
+    fn every_variant_reaches_the_error_detection_table() {
+        let node = NodeId(1);
+        let variants = [
+            Fault::CacheBitFlip { node },
+            Fault::MemoryBitFlip { node },
+            Fault::DropMessage,
+            Fault::DuplicateMessage,
+            Fault::MisrouteMessage { to: NodeId(2) },
+            Fault::ReorderMessage { delay: 200 },
+            Fault::WbDropStore { node },
+            Fault::WbReorderStores { node },
+            Fault::WbCorruptValue { node },
+            Fault::WbAddressFlip { node },
+            Fault::LsqWrongForward { node },
+            Fault::CacheCtrlBogusUpgrade { node },
+            Fault::MemCtrlForgetOwner { node },
+        ];
+        for f in &variants {
+            match f {
+                Fault::CacheBitFlip { .. }
+                | Fault::MemoryBitFlip { .. }
+                | Fault::DropMessage
+                | Fault::DuplicateMessage
+                | Fault::MisrouteMessage { .. }
+                | Fault::ReorderMessage { .. }
+                | Fault::WbDropStore { .. }
+                | Fault::WbReorderStores { .. }
+                | Fault::WbCorruptValue { .. }
+                | Fault::WbAddressFlip { .. }
+                | Fault::LsqWrongForward { .. }
+                | Fault::CacheCtrlBogusUpgrade { .. }
+                | Fault::MemCtrlForgetOwner { .. } => {}
+            }
+        }
+        let table: std::collections::HashSet<&str> = all_faults(NodeId(1), NodeId(2))
+            .iter()
+            .map(super::Fault::category)
+            .collect();
+        for f in &variants {
+            assert!(
+                table.contains(f.category()),
+                "{} missing from the all_faults coverage sweep",
+                f.category()
+            );
+            // The experiment's table rows are Display strings; each must
+            // carry its category label so results stay attributable.
+            assert!(
+                f.to_string().starts_with(f.category()),
+                "{f} does not name its category"
+            );
+        }
+        assert_eq!(table.len(), variants.len(), "one sweep entry per variant");
     }
 }

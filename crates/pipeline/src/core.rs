@@ -251,6 +251,28 @@ impl Core {
         self.uniproc.as_ref().map(dvmc_core::UniprocChecker::stats).unwrap_or_default()
     }
 
+    /// Attaches bounded event rings to both per-processor checkers
+    /// (observability; disabled by default, no-op without DVMC).
+    pub fn enable_obs(&mut self, capacity: usize) {
+        if let Some(u) = self.uniproc.as_mut() {
+            u.enable_obs(capacity);
+        }
+        if let Some(r) = self.reorder.as_mut() {
+            r.enable_obs(capacity);
+        }
+    }
+
+    /// The enabled event rings of this core's checkers (uniprocessor
+    /// ordering first, then allowable reordering).
+    pub fn obs_rings(&self) -> Vec<&dvmc_core::ObsRing> {
+        self.uniproc
+            .as_ref()
+            .and_then(UniprocChecker::obs)
+            .into_iter()
+            .chain(self.reorder.as_ref().and_then(ReorderChecker::obs))
+            .collect()
+    }
+
     /// Transactions completed by the program.
     pub fn transactions(&self) -> u64 {
         self.stream.transactions()
@@ -450,6 +472,14 @@ impl Core {
     /// Advances one cycle; returns the cache requests to submit.
     pub fn tick(&mut self, now: Cycle) -> Vec<ProcReq> {
         self.now = now;
+        // Stamp the checkers' event rings: checkers never learn physical
+        // time themselves.
+        if let Some(o) = self.uniproc.as_mut().and_then(UniprocChecker::obs_mut) {
+            o.set_now(now);
+        }
+        if let Some(o) = self.reorder.as_mut().and_then(ReorderChecker::obs_mut) {
+            o.set_now(now);
+        }
         self.retire();
         self.drain_wb();
         self.commit();

@@ -127,6 +127,10 @@ pub struct SystemConfig {
     /// trace-level debugging; off for benchmarks — the log grows with the
     /// run).
     pub record_commits: bool,
+    /// Per-checker observability ring-buffer capacity in events; `0`
+    /// leaves every checker's event sink detached (the default — the
+    /// checkers' hot paths then pay a single `Option` branch).
+    pub obs_capacity: usize,
 }
 
 impl SystemConfig {
@@ -204,6 +208,7 @@ pub struct SystemBuilder {
     membar_injection_period: u64,
     sorter_capacity: usize,
     record_commits: bool,
+    obs_capacity: usize,
 }
 
 impl Default for SystemBuilder {
@@ -225,6 +230,7 @@ impl Default for SystemBuilder {
             membar_injection_period: 100_000,
             sorter_capacity: 256,
             record_commits: false,
+            obs_capacity: 0,
         }
     }
 }
@@ -339,6 +345,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches bounded event rings of `capacity` events to every checker
+    /// (structured tracing, per-checker metrics, and violation forensics);
+    /// `0` (the default) keeps observability disabled.
+    pub fn obs(mut self, capacity: usize) -> Self {
+        self.obs_capacity = capacity;
+        self
+    }
+
     /// The validated [`SystemConfig`] this builder describes, without
     /// building the system — campaign sweeps expand specs into configs
     /// first and construct systems later, on worker threads.
@@ -364,6 +378,7 @@ impl SystemBuilder {
             membar_injection_period: self.membar_injection_period,
             sorter_capacity: self.sorter_capacity,
             record_commits: self.record_commits,
+            obs_capacity: self.obs_capacity,
         };
         cfg.validate()?;
         Ok(cfg)

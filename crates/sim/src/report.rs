@@ -1,7 +1,7 @@
 //! Run reports: everything the experiment harnesses consume.
 
 use dvmc_coherence::CacheStats;
-use dvmc_core::{UniprocStats, Violation};
+use dvmc_core::{ObsMetrics, UniprocStats, Violation, ViolationReport};
 use dvmc_faults::Fault;
 use dvmc_pipeline::CoreStats;
 use dvmc_types::Cycle;
@@ -59,6 +59,12 @@ pub struct RunReport {
     pub checker_bytes: u64,
     /// BER coordination bytes.
     pub ber_bytes: u64,
+    /// Per-node checker observability metrics (one entry per node, the
+    /// node's checkers merged); empty when observability is disabled.
+    pub obs: Vec<ObsMetrics>,
+    /// Forensic event trace around the detection; `None` when
+    /// observability is disabled or nothing was detected.
+    pub forensics: Option<ViolationReport>,
 }
 
 impl RunReport {

@@ -5,7 +5,7 @@ use crate::config::SystemConfig;
 use crate::report::{Detection, RunReport};
 use dvmc_ber::{BerEvent, SafetyNet, SafetyNetConfig};
 use dvmc_coherence::Cluster;
-use dvmc_core::Violation;
+use dvmc_core::{CoherenceViolation, ObsMetrics, TimedEvent, Violation, ViolationReport};
 use dvmc_faults::Fault;
 use dvmc_pipeline::Core;
 use dvmc_types::rng::{det_rng, derive_seed, DetRng};
@@ -26,6 +26,10 @@ pub struct System {
     /// Per-core (retired count, last progress cycle) for the hang watchdog.
     progress: Vec<(u64, Cycle)>,
     hung: bool,
+    /// The node whose core reported the run's first violation, for
+    /// forensic attribution (per-processor violations don't name their
+    /// node; coherence violations do).
+    first_violation_node: Option<usize>,
 }
 
 /// `NodeId` for node index `i`, under the `System` invariant that
@@ -48,13 +52,19 @@ impl System {
         if let Err(e) = cfg.validate() {
             panic!("invalid system configuration: {e}");
         }
-        let cluster = Cluster::new(cfg.cluster_config());
+        let mut cluster = Cluster::new(cfg.cluster_config());
         let core_cfg = cfg.core_config();
         let streams = build_streams(&cfg.workload);
-        let cores = streams
+        let mut cores: Vec<Core> = streams
             .into_iter()
             .map(|s| Core::new(core_cfg, s))
             .collect();
+        if cfg.obs_capacity > 0 {
+            for core in &mut cores {
+                core.enable_obs(cfg.obs_capacity);
+            }
+            cluster.enable_obs(cfg.obs_capacity);
+        }
         System {
             cores,
             cluster,
@@ -68,6 +78,7 @@ impl System {
             fault_done: cfg.fault.is_none(),
             progress: vec![(0, 0); cfg.nodes],
             hung: false,
+            first_violation_node: None,
             cfg,
         }
     }
@@ -110,7 +121,11 @@ impl System {
             for req in core.tick(now) {
                 self.cluster.submit(id, req);
             }
-            self.violations.extend(core.drain_violations());
+            let drained = core.drain_violations();
+            if !drained.is_empty() && self.violations.is_empty() {
+                self.first_violation_node.get_or_insert(i);
+            }
+            self.violations.extend(drained);
         }
         // The memory system advances.
         self.cluster.tick();
@@ -144,12 +159,72 @@ impl System {
         )
     }
 
-    /// Debug helper: dumps every core and cache controller.
-    pub fn dump(&mut self) {
-        for (i, core) in self.cores.iter().enumerate() {
-            eprintln!("core{i}: {}", core.dump());
-            eprintln!("node{i}: {}", self.cluster.node_mut(nid(i)).dump());
+    /// Debug helper: renders every core and cache controller, followed —
+    /// when observability is enabled — by each node's checker metrics and
+    /// its retained event trace.
+    pub fn dump(&mut self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for i in 0..self.cfg.nodes {
+            let _ = writeln!(out, "core{i}: {}", self.cores[i].dump());
+            let _ = writeln!(out, "node{i}: {}", self.cluster.node_mut(nid(i)).dump());
         }
+        if self.cfg.obs_capacity > 0 {
+            for i in 0..self.cfg.nodes {
+                let m = self.node_obs_metrics(i);
+                let _ = writeln!(
+                    out,
+                    "obs{i}: events={} vc={}a/{}d replay={}hit/{}read maxop={} \
+                     membar={} epoch={}o/{}c scrub={} inform={}q/{}r crc={} hwm={}",
+                    m.events,
+                    m.vc_allocs,
+                    m.vc_deallocs,
+                    m.replay_vc_hits,
+                    m.replay_cache_reads,
+                    m.max_op_updates,
+                    m.membar_checks,
+                    m.epoch_opens,
+                    m.epoch_closes,
+                    m.scrubs,
+                    m.informs_enqueued,
+                    m.informs_reordered,
+                    m.crc_checks,
+                    m.sorter_occupancy_hwm,
+                );
+                for ev in self.node_obs_trace(i) {
+                    let _ = writeln!(out, "  {ev}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Merged observability metrics of node `i`'s checkers (zeroed when
+    /// observability is disabled).
+    fn node_obs_metrics(&self, i: usize) -> ObsMetrics {
+        let mut m = ObsMetrics::default();
+        for ring in self.cores[i].obs_rings() {
+            m.merge(&ring.metrics());
+        }
+        for ring in self.cluster.obs_rings(nid(i)) {
+            m.merge(&ring.metrics());
+        }
+        m
+    }
+
+    /// The retained events of node `i`'s checkers, merged across rings,
+    /// sorted by cycle, and capped at the configured ring capacity.
+    fn node_obs_trace(&self, i: usize) -> Vec<TimedEvent> {
+        let mut trace: Vec<TimedEvent> = self.cores[i]
+            .obs_rings()
+            .into_iter()
+            .chain(self.cluster.obs_rings(nid(i)))
+            .flat_map(|ring| ring.events().copied())
+            .collect();
+        trace.sort_by_key(|e| e.cycle);
+        let skip = trace.len().saturating_sub(self.cfg.obs_capacity);
+        trace.drain(..skip);
+        trace
     }
 
     /// Arms a network fault targeting coherence-protocol messages (checker
@@ -268,6 +343,12 @@ impl System {
         if self.cfg.fault.is_none() || (self.violations.is_empty() && !self.hung) {
             self.violations.extend(self.cluster.finish());
         }
+        // A hung faulted run takes neither branch above, yet its checkers
+        // may already have raised violations that are still sitting in the
+        // cluster; drain unconditionally so the verdict sees them
+        // (previously they were dropped, demoting checker detections to
+        // hang-only detections).
+        self.violations.extend(self.cluster.drain_violations());
         let detection = match (self.cfg.fault, self.fault_injected_at) {
             (Some(plan), Some(injected_at)) if !self.violations.is_empty() || self.hung => {
                 let recoverable = self
@@ -283,6 +364,30 @@ impl System {
                 })
             }
             _ => None,
+        };
+        let obs: Vec<ObsMetrics> = if self.cfg.obs_capacity > 0 {
+            (0..self.cfg.nodes).map(|i| self.node_obs_metrics(i)).collect()
+        } else {
+            Vec::new()
+        };
+        let first = self.violations.first().cloned();
+        let forensics = if self.cfg.obs_capacity > 0 && (first.is_some() || self.hung) {
+            // Attribute the detection to a node: the violation names one,
+            // or the core that reported first, or the fault's location.
+            let node = first
+                .as_ref()
+                .and_then(violation_node)
+                .or(self.first_violation_node.map(nid))
+                .or(self.cfg.fault.and_then(|p| p.fault.node()))
+                .unwrap_or(NodeId(0));
+            Some(ViolationReport {
+                violation: first,
+                trace: self.node_obs_trace(node.index()),
+                cycle: now,
+                node,
+            })
+        } else {
+            None
         };
         RunReport {
             cycles: now,
@@ -300,7 +405,24 @@ impl System {
             total_bytes: self.cluster.data_net().total_bytes(),
             checker_bytes: self.cluster.checker_bytes(),
             ber_bytes: self.cluster.ber_bytes(),
+            obs,
+            forensics,
         }
+    }
+}
+
+/// The node a violation itself names, when it names one (per-processor
+/// violations are attributed by which core reported them instead).
+fn violation_node(v: &Violation) -> Option<NodeId> {
+    match v {
+        Violation::Coherence(c) => Some(match c {
+            CoherenceViolation::AccessOutsideEpoch { node, .. }
+            | CoherenceViolation::EccMismatch { node, .. } => *node,
+            CoherenceViolation::EpochOverlap { home, .. }
+            | CoherenceViolation::DataPropagation { home, .. }
+            | CoherenceViolation::SpuriousClose { home, .. } => *home,
+        }),
+        Violation::Reorder(_) | Violation::LostOp(_) | Violation::Uniproc(_) => None,
     }
 }
 
@@ -312,5 +434,120 @@ impl std::fmt::Debug for System {
             .field("protocol", &self.cfg.protocol)
             .field("cycle", &self.now())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemBuilder;
+    use dvmc_coherence::Msg;
+    use dvmc_core::{EpochKind, InformEpoch};
+    use dvmc_faults::FaultPlan;
+    use dvmc_types::{BlockAddr, Ts16};
+
+    /// Regression: a faulted run that ends in a hang used to skip both
+    /// report() drain paths (no quiescence drain because it's hung, no
+    /// end-of-run audit because a fault was scheduled), dropping any
+    /// violations still sitting in the cluster and demoting a checker
+    /// detection to a hang-only detection with `violation: None`.
+    #[test]
+    fn hung_faulted_run_keeps_cluster_violations() {
+        let mut sys = SystemBuilder::new()
+            .nodes(2)
+            .fault(FaultPlan {
+                at_cycle: 0,
+                fault: Fault::DropMessage,
+            })
+            .build();
+        // Plant a checker violation directly at home 0: an Inform-Epoch
+        // for a block never requested through this home is flagged by the
+        // MET once the sorter releases it.
+        sys.cluster.home_mut(NodeId(0)).deliver(Msg::Epoch(
+            InformEpoch {
+                addr: BlockAddr(0),
+                kind: EpochKind::ReadOnly,
+                node: NodeId(1),
+                start: Ts16(1),
+                end: Ts16(2),
+                start_hash: 0,
+                end_hash: 0,
+            }
+            .into(),
+        ));
+        // Tick the cluster directly (not the system) so the violation is
+        // raised but never drained into `sys.violations` — the state a
+        // mid-run hang leaves behind.
+        for _ in 0..4096 {
+            sys.cluster.tick();
+        }
+        sys.hung = true;
+        sys.fault_injected_at = Some(1);
+        let report = sys.report();
+        assert!(
+            !report.violations.is_empty(),
+            "cluster violations must survive a hung faulted run"
+        );
+        let detection = report.detection.expect("fault + hang is a detection");
+        assert!(
+            detection.violation.is_some(),
+            "the checker's violation must reach the detection verdict"
+        );
+    }
+
+    /// End-to-end observability: an instrumented error-free run reports
+    /// per-node metrics with checker activity, and the planted-violation
+    /// scenario above yields forensics with a non-empty trace attributed
+    /// to the home that detected it.
+    #[test]
+    fn obs_metrics_and_forensics_flow_into_the_report() {
+        use dvmc_workloads::spec::WorkloadKind;
+        let mut sys = SystemBuilder::new()
+            .nodes(2)
+            .workload(WorkloadKind::Jbb, 2)
+            .obs(32)
+            .build();
+        let report = sys.run_to_completion(2_000_000);
+        assert!(report.completed);
+        assert_eq!(report.obs.len(), 2, "one metrics entry per node");
+        let total: u64 = report.obs.iter().map(|m| m.events).sum();
+        assert!(total > 0, "an instrumented run records checker events");
+        assert!(report.forensics.is_none(), "no detection, no forensics");
+        assert!(!sys.dump().is_empty());
+
+        let mut sys = SystemBuilder::new()
+            .nodes(2)
+            .obs(32)
+            .fault(FaultPlan {
+                at_cycle: 0,
+                fault: Fault::DropMessage,
+            })
+            .build();
+        sys.cluster.home_mut(NodeId(0)).deliver(Msg::Epoch(
+            InformEpoch {
+                addr: BlockAddr(0),
+                kind: EpochKind::ReadOnly,
+                node: NodeId(1),
+                start: Ts16(1),
+                end: Ts16(2),
+                start_hash: 0,
+                end_hash: 0,
+            }
+            .into(),
+        ));
+        for _ in 0..4096 {
+            sys.cluster.tick();
+        }
+        sys.hung = true;
+        sys.fault_injected_at = Some(1);
+        let report = sys.report();
+        let forensics = report.forensics.expect("detection with obs enabled");
+        assert_eq!(forensics.node, NodeId(0), "attributed to the home");
+        assert!(forensics.violation.is_some());
+        assert!(
+            !forensics.trace.is_empty(),
+            "the home's ring retains the events leading up to detection"
+        );
+        assert!(forensics.chain().contains("crc-check"), "{}", forensics.chain());
     }
 }

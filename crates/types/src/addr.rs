@@ -72,7 +72,14 @@ impl BlockAddr {
     /// The home node of this block in an `n_nodes`-node system.
     ///
     /// Blocks are interleaved across memory controllers by block index,
-    /// matching the distributed-memory configuration of Table 6.
+    /// matching the distributed-memory configuration of Table 6. Node
+    /// identifiers are 8-bit and `SystemConfig::validate` admits
+    /// `1..=`[`NodeId::MAX_NODES`](crate::ids::NodeId::MAX_NODES) nodes;
+    /// for counts beyond that contract the interleave factor is clamped to
+    /// `MAX_NODES`, so the result is always a valid `NodeId` and never a
+    /// silently truncated modulo (the former bare `as u8` cast would map
+    /// block 256 of a 300-node system to node 0 while block 0 also lands
+    /// on node 0 of a *different* slice).
     ///
     /// # Panics
     ///
@@ -80,7 +87,8 @@ impl BlockAddr {
     #[inline]
     pub fn home(self, n_nodes: usize) -> crate::ids::NodeId {
         assert!(n_nodes > 0, "system must have at least one node");
-        crate::ids::NodeId((self.0 % n_nodes as u64) as u8)
+        let n = n_nodes.min(crate::ids::NodeId::MAX_NODES) as u64;
+        crate::ids::NodeId((self.0 % n) as u8)
     }
 }
 
@@ -216,6 +224,19 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn home_rejects_zero_nodes() {
         let _ = BlockAddr(0).home(0);
+    }
+
+    #[test]
+    fn home_at_the_255_node_edge() {
+        use crate::ids::NodeId;
+        // The largest system the SystemConfig contract admits.
+        assert_eq!(BlockAddr(254).home(NodeId::MAX_NODES), NodeId(254));
+        assert_eq!(BlockAddr(255).home(NodeId::MAX_NODES), NodeId(0));
+        assert_eq!(BlockAddr(u64::MAX).home(NodeId::MAX_NODES), NodeId((u64::MAX % 255) as u8));
+        // Out-of-contract counts clamp to MAX_NODES instead of letting the
+        // `as u8` cast truncate the modulo result.
+        assert_eq!(BlockAddr(300).home(1000), NodeId((300 % 255) as u8));
+        assert_eq!(BlockAddr(511).home(512), NodeId((511 % 255) as u8));
     }
 
     #[test]

@@ -11,6 +11,10 @@ use std::fmt;
 pub struct NodeId(pub u8);
 
 impl NodeId {
+    /// The largest representable system size: node identifiers are 8-bit
+    /// and `SystemConfig::validate` admits `1..=MAX_NODES` nodes.
+    pub const MAX_NODES: usize = u8::MAX as usize;
+
     /// The node's index as a `usize`, for indexing per-node vectors.
     #[inline]
     pub fn index(self) -> usize {

@@ -16,6 +16,14 @@ pub type Cycle = u64;
 /// half the timestamp space (2^15). The scrubbing machinery in
 /// `dvmc-core::coherence` guarantees that all live timestamps stay within
 /// one window of each other, which makes windowed comparison exact.
+///
+/// At *exactly* half-window distance the signed delta is `i16::MIN` in both
+/// directions (`i16::MIN.wrapping_neg()` is itself), so a raw sign test
+/// would deem neither timestamp earlier — and `max_windowed` would not
+/// commute. Scrubbing makes this distance unreachable for live timestamps,
+/// but stale entries on the scrub horizon can land on it, so the comparison
+/// breaks the tie deterministically: at exactly half-window distance the
+/// timestamp with the smaller raw `u16` value is the earlier one.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Ts16(pub u16);
 
@@ -39,15 +47,23 @@ impl Ts16 {
     }
 
     /// Windowed "earlier than".
+    ///
+    /// Antisymmetric for *all* pairs: at exactly half-window distance
+    /// (`delta == i16::MIN`, its own `wrapping_neg`) the sign of the delta
+    /// is the same in both directions, so the smaller raw `u16` value is
+    /// deemed earlier as a deterministic tie-break.
     #[inline]
     pub fn earlier_than(self, other: Ts16) -> bool {
-        self.delta(other) > 0
+        let d = self.delta(other);
+        d > 0 || (d == i16::MIN && self.0 < other.0)
     }
 
-    /// Windowed "earlier than or equal".
+    /// Windowed "earlier than or equal". Consistent with
+    /// [`earlier_than`](Self::earlier_than), including its half-window
+    /// tie-break: `a.earlier_or_eq(b) == !b.earlier_than(a)`.
     #[inline]
     pub fn earlier_or_eq(self, other: Ts16) -> bool {
-        self.delta(other) >= 0
+        !other.earlier_than(self)
     }
 
     /// The later of two timestamps under windowed comparison.
@@ -120,6 +136,21 @@ mod tests {
         assert_eq!(Ts16::from_full(0x1_0000 + 5), Ts16(5));
     }
 
+    #[test]
+    fn half_window_distance_breaks_tie_deterministically() {
+        // delta is i16::MIN in both directions here; the smaller raw value
+        // wins the tie, keeping earlier_than antisymmetric.
+        let (a, b) = (Ts16(0), Ts16(Ts16::WINDOW));
+        assert_eq!(a.delta(b), i16::MIN);
+        assert_eq!(b.delta(a), i16::MIN);
+        assert!(a.earlier_than(b));
+        assert!(!b.earlier_than(a));
+        assert!(a.earlier_or_eq(b));
+        assert!(!b.earlier_or_eq(a));
+        assert_eq!(a.max_windowed(b), b);
+        assert_eq!(b.max_windowed(a), b);
+    }
+
     proptest! {
         #[test]
         fn windowed_comparison_matches_full_within_window(base in any::<u64>(), d in 1u64..(1 << 15)) {
@@ -133,6 +164,33 @@ mod tests {
         fn delta_is_antisymmetric(a in any::<u16>(), b in any::<u16>()) {
             let (a, b) = (Ts16(a), Ts16(b));
             prop_assert_eq!(a.delta(b), b.delta(a).wrapping_neg());
+        }
+
+        /// Pins the half-window boundary: exactly one direction of
+        /// `earlier_than` holds for any pair at distance 2^15, and
+        /// `max_windowed` commutes there.
+        #[test]
+        fn exactly_one_direction_at_half_window(base in any::<u16>()) {
+            let a = Ts16(base);
+            let b = Ts16(base.wrapping_add(Ts16::WINDOW));
+            prop_assert!(a.earlier_than(b) ^ b.earlier_than(a));
+            prop_assert!(a.earlier_or_eq(b) ^ b.earlier_or_eq(a));
+            prop_assert_eq!(a.max_windowed(b), b.max_windowed(a));
+        }
+
+        /// The comparison stays a strict total order on every pair within
+        /// (or at) one window: irreflexive, antisymmetric, and consistent
+        /// with `earlier_or_eq`.
+        #[test]
+        fn earlier_than_is_antisymmetric_everywhere(a in any::<u16>(), b in any::<u16>()) {
+            let (a, b) = (Ts16(a), Ts16(b));
+            if a == b {
+                prop_assert!(!a.earlier_than(b));
+                prop_assert!(a.earlier_or_eq(b));
+            } else {
+                prop_assert!(a.earlier_than(b) ^ b.earlier_than(a));
+                prop_assert_eq!(a.earlier_or_eq(b), !b.earlier_than(a));
+            }
         }
     }
 }
