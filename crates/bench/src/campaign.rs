@@ -288,6 +288,16 @@ impl CampaignResult {
                 ),
                 None => "null".into(),
             };
+            let recovery = match &r.recovery {
+                Some(rec) => format!(
+                    "{{\"attempts\": {}, \"escalations\": {}, \"checkpoint\": {}, \"recovered\": {}}}",
+                    rec.attempts,
+                    rec.escalations,
+                    rec.checkpoint,
+                    rec.outcome == dvmc_sim::RecoveryOutcome::Recovered
+                ),
+                None => "null".into(),
+            };
             let obs = if r.obs.is_empty() {
                 "null".to_string()
             } else {
@@ -301,7 +311,7 @@ impl CampaignResult {
                 "    {{\"tag\": {}, \"trial\": {}, \"cycles\": {}, \"transactions\": {}, \
                  \"completed\": {}, \"hung\": {}, \"violations\": {}, \"detection\": {}, \
                  \"max_link_bytes\": {}, \"total_bytes\": {}, \"checker_bytes\": {}, \
-                 \"ber_bytes\": {}, \"obs\": {}}}{}\n",
+                 \"ber_bytes\": {}, \"recovery\": {}, \"memory_digest\": {}, \"obs\": {}}}{}\n",
                 json_str(&o.tag),
                 o.trial,
                 r.cycles,
@@ -314,6 +324,8 @@ impl CampaignResult {
                 r.total_bytes,
                 r.checker_bytes,
                 r.ber_bytes,
+                recovery,
+                r.memory_digest,
                 obs,
                 if i + 1 < self.outcomes.len() { "," } else { "" }
             ));
@@ -373,6 +385,26 @@ impl CampaignResult {
         out
     }
 
+    /// Writes the canonical (timing-free) JSON to `path`, creating parent
+    /// directories. This is the variant to publish when the artifact
+    /// itself is byte-compared across `--jobs` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_canonical_json(&self, path: &std::path::Path) {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(path, self.canonical_json())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!(
+            "[campaign] wrote {} ({} cells, canonical)",
+            path.display(),
+            self.outcomes.len()
+        );
+    }
+
     /// Writes the full JSON to `path`, creating parent directories.
     ///
     /// # Panics
@@ -400,7 +432,8 @@ fn obs_metrics_json(m: &ObsMetrics) -> String {
         "{{\"events\": {}, \"vc_allocs\": {}, \"vc_deallocs\": {}, \"replay_vc_hits\": {}, \
          \"replay_cache_reads\": {}, \"max_op_updates\": {}, \"membar_checks\": {}, \
          \"epoch_opens\": {}, \"epoch_closes\": {}, \"scrubs\": {}, \"informs_enqueued\": {}, \
-         \"informs_reordered\": {}, \"crc_checks\": {}, \"sorter_occupancy_hwm\": {}}}",
+         \"informs_reordered\": {}, \"crc_checks\": {}, \"sorter_occupancy_hwm\": {}, \
+         \"recoveries_started\": {}, \"recoveries_completed\": {}, \"recovery_escalations\": {}}}",
         m.events,
         m.vc_allocs,
         m.vc_deallocs,
@@ -414,7 +447,10 @@ fn obs_metrics_json(m: &ObsMetrics) -> String {
         m.informs_enqueued,
         m.informs_reordered,
         m.crc_checks,
-        m.sorter_occupancy_hwm
+        m.sorter_occupancy_hwm,
+        m.recoveries_started,
+        m.recoveries_completed,
+        m.recovery_escalations
     )
 }
 

@@ -77,6 +77,11 @@ impl ClusterConfig {
 }
 
 /// The coherent memory system below the processors.
+///
+/// `Clone` deep-copies every controller, both networks (in-flight traffic
+/// included), and the pending violation list — the memory-system half of a
+/// BER checkpoint snapshot.
+#[derive(Clone)]
 pub struct Cluster {
     cfg: ClusterConfig,
     nodes: Vec<CacheNode>,
@@ -148,6 +153,28 @@ impl Cluster {
     pub fn peek_memory_word(&self, addr: WordAddr) -> u64 {
         let home = addr.block().home(self.cfg.nodes);
         self.homes[home.index()].peek_word(addr)
+    }
+
+    /// An order-independent digest of every home's memory image (blocks
+    /// visited in address order, homes in node order). Two runs that left
+    /// byte-identical memory behind produce the same digest; `exp_recovery`
+    /// compares recovered runs against a fault-free golden run with it.
+    /// Meaningful after quiescence (dirty cached lines are not flushed).
+    pub fn memory_digest(&self) -> u64 {
+        // FNV-1a over (home, block address, words); HashMap iteration
+        // order never leaks because each home digests in sorted order.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (i, home) in self.homes.iter().enumerate() {
+            mix(i as u64);
+            home.digest_memory(&mut mix);
+        }
+        h
     }
 
     /// Submits a processor request at `node`.

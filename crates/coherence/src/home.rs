@@ -176,6 +176,20 @@ impl HomeCtrl {
         entry.ecc = entry.data.hash();
     }
 
+    /// Feeds this home's memory image — block addresses and their words,
+    /// in address order — into `mix` (the cluster-wide memory digest).
+    pub fn digest_memory(&self, mix: &mut impl FnMut(u64)) {
+        let mut addrs: Vec<BlockAddr> = self.memory.keys().copied().collect();
+        addrs.sort_unstable();
+        for addr in addrs {
+            mix(addr.0);
+            let block = &self.memory[&addr].data;
+            for w in 0..dvmc_types::WORDS_PER_BLOCK {
+                mix(block.word(w));
+            }
+        }
+    }
+
     /// Reads a word of this home's memory (test/verification use).
     pub fn peek_word(&self, addr: dvmc_types::WordAddr) -> u64 {
         self.memory
@@ -749,12 +763,17 @@ impl HomeCtrl {
         if let Some(e) = self.dir.get_mut(&addr) {
             e.sharers &= !(1 << from.index());
         }
+        // A transaction that already granted its data and merely awaits
+        // the requester's Unblock expects no acks: a stray ack landing
+        // here (a duplicate or misroute manufactured by fault injection)
+        // completes nothing. The checkers judge such traffic; the
+        // protocol engine must only survive it.
         let done = match self.busy.get_mut(&addr) {
-            Some(txn) => {
+            Some(txn) if !matches!(txn.kind, TxnKind::AwaitUnblock) => {
                 txn.need_acks = txn.need_acks.saturating_sub(1);
                 txn.need_acks == 0 && !(txn.need_data && txn.data.is_none())
             }
-            None => false,
+            _ => false,
         };
         if done {
             self.complete_txn(addr);
@@ -765,12 +784,12 @@ impl HomeCtrl {
         // Recalled owner data refreshes memory.
         self.mem_write(addr, data);
         let done = match self.busy.get_mut(&addr) {
-            Some(txn) => {
+            Some(txn) if !matches!(txn.kind, TxnKind::AwaitUnblock) => {
                 txn.data = Some(data);
                 txn.need_data = false;
                 txn.need_acks == 0
             }
-            None => false,
+            _ => false,
         };
         if done {
             self.complete_txn(addr);

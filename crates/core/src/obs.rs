@@ -103,6 +103,27 @@ pub enum CheckerEvent {
         /// The checked block.
         addr: BlockAddr,
     },
+    /// Backward error recovery began a rollback to a validated checkpoint
+    /// (recorded by the recovery coordinator, attributed to node 0 — BER
+    /// coordination is rooted there).
+    RecoveryStarted {
+        /// Rollback attempt number for this run (1-based).
+        attempt: u32,
+        /// Creation cycle of the checkpoint being restored.
+        checkpoint: Cycle,
+    },
+    /// A rolled-back run replayed to completion with no recurrence.
+    RecoveryCompleted {
+        /// Rollbacks it took.
+        attempt: u32,
+    },
+    /// A retry escalation: the error recurred after rollback (persistent
+    /// fault), so the checkpoint interval is widened — or, on the final
+    /// escalation, the run is declared unrecoverable.
+    RecoveryEscalated {
+        /// The attempt that escalated.
+        attempt: u32,
+    },
 }
 
 impl CheckerEvent {
@@ -122,6 +143,9 @@ impl CheckerEvent {
             CheckerEvent::InformEnqueue { .. } => "inform-enqueue",
             CheckerEvent::InformReorder { .. } => "inform-reorder",
             CheckerEvent::CrcCheck { .. } => "crc-check",
+            CheckerEvent::RecoveryStarted { .. } => "recovery-started",
+            CheckerEvent::RecoveryCompleted { .. } => "recovery-completed",
+            CheckerEvent::RecoveryEscalated { .. } => "recovery-escalated",
         }
     }
 }
@@ -145,6 +169,11 @@ impl fmt::Display for CheckerEvent {
             | CheckerEvent::CrcCheck { addr } => write!(f, "({addr})"),
             CheckerEvent::MetScrub { at } => write!(f, "({at})"),
             CheckerEvent::InformEnqueue { addr, queued } => write!(f, "({addr},q={queued})"),
+            CheckerEvent::RecoveryStarted { attempt, checkpoint } => {
+                write!(f, "(a{attempt}@{checkpoint})")
+            }
+            CheckerEvent::RecoveryCompleted { attempt }
+            | CheckerEvent::RecoveryEscalated { attempt } => write!(f, "(a{attempt})"),
         }
     }
 }
@@ -198,6 +227,12 @@ pub struct ObsMetrics {
     pub crc_checks: u64,
     /// High-water mark of the home's sorting-queue occupancy.
     pub sorter_occupancy_hwm: u64,
+    /// Rollbacks started by backward error recovery.
+    pub recoveries_started: u64,
+    /// Rollback-and-replay sequences that completed cleanly.
+    pub recoveries_completed: u64,
+    /// Retry escalations (recurring error after rollback).
+    pub recovery_escalations: u64,
 }
 
 impl ObsMetrics {
@@ -218,6 +253,9 @@ impl ObsMetrics {
         self.informs_reordered += other.informs_reordered;
         self.crc_checks += other.crc_checks;
         self.sorter_occupancy_hwm = self.sorter_occupancy_hwm.max(other.sorter_occupancy_hwm);
+        self.recoveries_started += other.recoveries_started;
+        self.recoveries_completed += other.recoveries_completed;
+        self.recovery_escalations += other.recovery_escalations;
     }
 }
 
@@ -310,6 +348,9 @@ impl EventSink for ObsRing {
             }
             CheckerEvent::InformReorder { .. } => m.informs_reordered += 1,
             CheckerEvent::CrcCheck { .. } => m.crc_checks += 1,
+            CheckerEvent::RecoveryStarted { .. } => m.recoveries_started += 1,
+            CheckerEvent::RecoveryCompleted { .. } => m.recoveries_completed += 1,
+            CheckerEvent::RecoveryEscalated { .. } => m.recovery_escalations += 1,
         }
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
@@ -397,6 +438,34 @@ mod tests {
         assert_eq!(a.events, 5);
         assert_eq!(a.crc_checks, 5);
         assert_eq!(a.sorter_occupancy_hwm, 5);
+    }
+
+    #[test]
+    fn recovery_events_count_and_render() {
+        let mut ring = ObsRing::new(8);
+        ring.set_now(500);
+        ring.record(CheckerEvent::RecoveryStarted {
+            attempt: 1,
+            checkpoint: 400,
+        });
+        ring.record(CheckerEvent::RecoveryEscalated { attempt: 2 });
+        ring.record(CheckerEvent::RecoveryCompleted { attempt: 2 });
+        let m = ring.metrics();
+        assert_eq!(m.recoveries_started, 1);
+        assert_eq!(m.recovery_escalations, 1);
+        assert_eq!(m.recoveries_completed, 1);
+        assert_eq!(
+            CheckerEvent::RecoveryStarted {
+                attempt: 1,
+                checkpoint: 400
+            }
+            .to_string(),
+            "recovery-started(a1@400)"
+        );
+        let mut merged = ObsMetrics::default();
+        merged.merge(&m);
+        assert_eq!(merged.recoveries_started, 1);
+        assert_eq!(merged.recoveries_completed, 1);
     }
 
     #[test]

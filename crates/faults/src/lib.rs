@@ -82,6 +82,15 @@ pub enum Fault {
         /// The affected home node.
         node: NodeId,
     },
+    /// A *persistent* cache data error: a stuck-at bit in an L2 data
+    /// array. Injection looks like [`Fault::CacheBitFlip`], but the
+    /// defect survives rollback — recovery replays straight back into it,
+    /// so retries must escalate and ultimately report the run
+    /// unrecoverable (BER handles transients; hard faults need repair).
+    CacheStuckBit {
+        /// The node whose cache has the stuck bit.
+        node: NodeId,
+    },
 }
 
 impl Fault {
@@ -101,6 +110,7 @@ impl Fault {
             Fault::LsqWrongForward { .. } => "lsq-forward",
             Fault::CacheCtrlBogusUpgrade { .. } => "cachectrl-state",
             Fault::MemCtrlForgetOwner { .. } => "memctrl-state",
+            Fault::CacheStuckBit { .. } => "cache-stuck",
         }
     }
 
@@ -116,11 +126,36 @@ impl Fault {
             | Fault::WbAddressFlip { node }
             | Fault::LsqWrongForward { node }
             | Fault::CacheCtrlBogusUpgrade { node }
-            | Fault::MemCtrlForgetOwner { node } => Some(*node),
+            | Fault::MemCtrlForgetOwner { node }
+            | Fault::CacheStuckBit { node } => Some(*node),
             Fault::DropMessage
             | Fault::DuplicateMessage
             | Fault::MisrouteMessage { .. }
             | Fault::ReorderMessage { .. } => None,
+        }
+    }
+
+    /// Whether the fault is a transient (soft) error that disappears once
+    /// its effects are rolled back. §6.1 injects transients — BER recovers
+    /// them by replaying from a pre-error checkpoint. A persistent fault
+    /// re-manifests on every replay; recovery must bound its retries and
+    /// escalate to an unrecoverable verdict instead of looping forever.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Fault::CacheBitFlip { .. }
+            | Fault::MemoryBitFlip { .. }
+            | Fault::DropMessage
+            | Fault::DuplicateMessage
+            | Fault::MisrouteMessage { .. }
+            | Fault::ReorderMessage { .. }
+            | Fault::WbDropStore { .. }
+            | Fault::WbReorderStores { .. }
+            | Fault::WbCorruptValue { .. }
+            | Fault::WbAddressFlip { .. }
+            | Fault::LsqWrongForward { .. }
+            | Fault::CacheCtrlBogusUpgrade { .. }
+            | Fault::MemCtrlForgetOwner { .. } => true,
+            Fault::CacheStuckBit { .. } => false,
         }
     }
 }
@@ -137,7 +172,8 @@ impl fmt::Display for Fault {
             | Fault::WbAddressFlip { node }
             | Fault::LsqWrongForward { node }
             | Fault::CacheCtrlBogusUpgrade { node }
-            | Fault::MemCtrlForgetOwner { node } => write!(f, "@{node}"),
+            | Fault::MemCtrlForgetOwner { node }
+            | Fault::CacheStuckBit { node } => write!(f, "@{node}"),
             Fault::MisrouteMessage { to } => write!(f, "->{to}"),
             Fault::ReorderMessage { delay } => write!(f, "+{delay}"),
             _ => Ok(()),
@@ -155,7 +191,11 @@ pub struct FaultPlan {
 }
 
 /// Draws a random fault plan: error time within `(warmup, horizon)`,
-/// random type, random location — mirroring §6.1's methodology.
+/// random type, random location — mirroring §6.1's methodology. Only the
+/// 13 *transient* categories are drawn (§6.1 injects soft errors); the
+/// persistent [`Fault::CacheStuckBit`] is reached through [`all_faults`]
+/// coverage sweeps, where the recovery experiment exercises retry
+/// escalation deliberately.
 pub fn random_plan(rng: &mut DetRng, nodes: usize, warmup: Cycle, horizon: Cycle) -> FaultPlan {
     let at_cycle = rng.gen_range(warmup..horizon);
     let node = NodeId(rng.gen_range(0..nodes) as u8);
@@ -180,7 +220,8 @@ pub fn random_plan(rng: &mut DetRng, nodes: usize, warmup: Cycle, horizon: Cycle
     FaultPlan { at_cycle, fault }
 }
 
-/// One fault of every category (for coverage sweeps).
+/// One fault of every category (for coverage sweeps), transient and
+/// persistent alike.
 pub fn all_faults(node: NodeId, other: NodeId) -> Vec<Fault> {
     vec![
         Fault::CacheBitFlip { node },
@@ -196,6 +237,7 @@ pub fn all_faults(node: NodeId, other: NodeId) -> Vec<Fault> {
         Fault::LsqWrongForward { node },
         Fault::CacheCtrlBogusUpgrade { node },
         Fault::MemCtrlForgetOwner { node },
+        Fault::CacheStuckBit { node },
     ]
 }
 
@@ -232,7 +274,10 @@ mod tests {
         for _ in 0..2000 {
             seen.insert(random_plan(&mut rng, 8, 0, 10).fault.category());
         }
+        // random_plan draws transients only; the persistent cache-stuck
+        // category is coverage-swept, never drawn.
         assert_eq!(seen.len(), 13, "{seen:?}");
+        assert!(!seen.contains("cache-stuck"));
     }
 
     #[test]
@@ -275,6 +320,7 @@ mod tests {
             Fault::LsqWrongForward { node },
             Fault::CacheCtrlBogusUpgrade { node },
             Fault::MemCtrlForgetOwner { node },
+            Fault::CacheStuckBit { node },
         ];
         for f in &variants {
             match f {
@@ -290,7 +336,8 @@ mod tests {
                 | Fault::WbAddressFlip { .. }
                 | Fault::LsqWrongForward { .. }
                 | Fault::CacheCtrlBogusUpgrade { .. }
-                | Fault::MemCtrlForgetOwner { .. } => {}
+                | Fault::MemCtrlForgetOwner { .. }
+                | Fault::CacheStuckBit { .. } => {}
             }
         }
         let table: std::collections::HashSet<&str> = all_faults(NodeId(1), NodeId(2))
@@ -311,5 +358,23 @@ mod tests {
             );
         }
         assert_eq!(table.len(), variants.len(), "one sweep entry per variant");
+    }
+
+    /// Recovery's retry policy keys off [`Fault::is_transient`]; a new
+    /// variant that forgets to declare its persistence class would either
+    /// loop forever (persistent marked transient) or give up on a
+    /// recoverable soft error. Exactly one persistent category exists
+    /// today, and every plan [`random_plan`] draws is transient.
+    #[test]
+    fn every_variant_declares_persistence() {
+        let persistent: Vec<_> = all_faults(NodeId(0), NodeId(1))
+            .into_iter()
+            .filter(|f| !f.is_transient())
+            .collect();
+        assert_eq!(persistent, vec![Fault::CacheStuckBit { node: NodeId(0) }]);
+        let mut rng = det_rng(11);
+        for _ in 0..500 {
+            assert!(random_plan(&mut rng, 8, 0, 100).fault.is_transient());
+        }
     }
 }

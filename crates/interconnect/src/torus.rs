@@ -27,7 +27,7 @@ pub struct LinkStats {
     pub messages: u64,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct InFlight<T> {
     payload: T,
     bytes: u32,
@@ -67,9 +67,12 @@ struct InFlight<T> {
 /// payload, bytes).
 type Delayed<T> = (Cycle, NodeId, NodeId, T, u32);
 
-/// Predicate selecting which payloads an armed fault may hit.
-type FaultFilter<T> = Box<dyn Fn(&T) -> bool + Send>;
+/// Predicate selecting which payloads an armed fault may hit. Shared
+/// (`Arc`) so the network — and with it a BER system snapshot — stays
+/// cloneable; filters are stateless closures, so sharing is safe.
+type FaultFilter<T> = std::sync::Arc<dyn Fn(&T) -> bool + Send + Sync>;
 
+#[derive(Clone)]
 pub struct Torus<T> {
     cols: usize,
     rows: usize,
@@ -163,10 +166,17 @@ impl<T> Torus<T> {
     pub fn arm_fault_filtered(
         &mut self,
         fault: NetFault,
-        filter: impl Fn(&T) -> bool + Send + 'static,
+        filter: impl Fn(&T) -> bool + Send + Sync + 'static,
     ) {
         self.armed_fault = Some(fault);
-        self.fault_filter = Some(Box::new(filter));
+        self.fault_filter = Some(std::sync::Arc::new(filter));
+    }
+
+    /// Disarms any armed-but-unapplied fault (recovery rolls the system
+    /// back to a pre-fault checkpoint and must not re-trip on replay).
+    pub fn disarm_fault(&mut self) {
+        self.armed_fault = None;
+        self.fault_filter = None;
     }
 
     /// Number of fault actions actually applied.
@@ -478,6 +488,37 @@ mod tests {
             }
         }
         assert_eq!(order, vec![2, 1], "delayed message arrives second");
+    }
+
+    #[test]
+    fn disarm_cancels_a_pending_fault() {
+        let mut net: Torus<u32> = Torus::new(4, 64, 1);
+        net.arm_fault(NetFault::Drop);
+        net.disarm_fault();
+        net.send(NodeId(0), NodeId(1), 1, 64, 0);
+        for c in 0..100 {
+            net.tick(c);
+        }
+        assert_eq!(net.recv(NodeId(1)), Some(1), "disarmed fault must not fire");
+        assert_eq!(net.faults_applied(), 0);
+    }
+
+    #[test]
+    fn cloned_torus_is_independent() {
+        let mut net: Torus<u32> = Torus::new(4, 64, 1);
+        net.send(NodeId(0), NodeId(1), 7, 64, 0);
+        let mut snap = net.clone();
+        // Advance the original past delivery; the clone still holds the
+        // message in flight.
+        for c in 0..100 {
+            net.tick(c);
+        }
+        assert_eq!(net.recv(NodeId(1)), Some(7));
+        assert!(!snap.is_quiescent(), "clone keeps its own in-flight state");
+        for c in 0..100 {
+            snap.tick(c);
+        }
+        assert_eq!(snap.recv(NodeId(1)), Some(7));
     }
 
     #[test]

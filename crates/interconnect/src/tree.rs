@@ -11,14 +11,14 @@
 use dvmc_types::{Cycle, NodeId};
 use std::collections::VecDeque;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Pending<T> {
     payload: T,
     bytes: u32,
     src: NodeId,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct InFlight<T> {
     payload: T,
     deliver_at: Cycle,
@@ -46,7 +46,7 @@ struct InFlight<T> {
 /// }
 /// assert_eq!(got, Some((0, "GetM")));
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct BroadcastTree<T> {
     /// Requests awaiting root arbitration, FIFO.
     pending: VecDeque<Pending<T>>,

@@ -167,6 +167,12 @@ struct Pending {
 }
 
 /// The out-of-order core model for one hardware thread.
+///
+/// `Clone` deep-copies the whole core — ROB, write buffer, checkers,
+/// commit log, and the instruction stream (via
+/// [`InstrStream::clone_box`]) — which is exactly the per-core state a
+/// BER checkpoint snapshots and a rollback restores.
+#[derive(Clone)]
 pub struct Core {
     cfg: CoreConfig,
     stream: Box<dyn InstrStream + Send>,

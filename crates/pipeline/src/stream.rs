@@ -99,6 +99,18 @@ pub trait InstrStream {
     fn transactions(&self) -> u64 {
         0
     }
+
+    /// A boxed deep copy of the stream, position included. Backward error
+    /// recovery snapshots whole cores; the stream is part of the
+    /// architectural state a rollback must restore (program counter,
+    /// pending polls, RNG state), so every stream must be cloneable.
+    fn clone_box(&self) -> Box<dyn InstrStream + Send>;
+}
+
+impl Clone for Box<dyn InstrStream + Send> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// A fixed, scripted program — the building block for unit tests and
@@ -159,6 +171,10 @@ impl InstrStream for ScriptedStream {
         } else {
             0
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn InstrStream + Send> {
+        Box::new(self.clone())
     }
 }
 

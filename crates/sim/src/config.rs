@@ -1,5 +1,6 @@
 //! System configuration and builder.
 
+use dvmc_ber::{BerConfigError, SafetyNetConfig};
 use dvmc_coherence::{ClusterConfig, Protocol};
 use dvmc_consistency::Model;
 use dvmc_faults::FaultPlan;
@@ -64,6 +65,31 @@ impl Protection {
     }
 }
 
+/// How hard the system tries before declaring an error unrecoverable.
+///
+/// BER recovers transient faults by rolling back and replaying; a
+/// persistent fault re-manifests on every replay. Each retry widens the
+/// checkpoint interval by `backoff_factor` (escalation: a wider window
+/// cuts checkpoint overhead and gives the replay more room), and after
+/// `max_retries` rollbacks the run gives up with an unrecoverable
+/// verdict that carries the detection forensics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecoveryPolicy {
+    /// Rollback/replay attempts before giving up.
+    pub max_retries: u32,
+    /// Checkpoint-interval growth factor applied at each escalation.
+    pub backoff_factor: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_factor: 2,
+        }
+    }
+}
+
 /// A rejected system configuration.
 ///
 /// Node identifiers are 8-bit ([`dvmc_types::NodeId`] wraps a `u8`), so a
@@ -79,6 +105,11 @@ pub enum ConfigError {
         /// The requested node count.
         nodes: usize,
     },
+    /// A recovery policy was requested without BER protection: there is
+    /// no checkpoint log to roll back to.
+    RecoveryWithoutBer,
+    /// The SafetyNet configuration itself is invalid.
+    Ber(BerConfigError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -90,6 +121,11 @@ impl std::fmt::Display for ConfigError {
                 "{nodes} nodes exceed the {} a u8 NodeId can address",
                 u8::MAX
             ),
+            ConfigError::RecoveryWithoutBer => write!(
+                f,
+                "recovery needs BER protection: without SafetyNet there is no checkpoint to roll back to"
+            ),
+            ConfigError::Ber(e) => write!(f, "invalid SafetyNet configuration: {e}"),
         }
     }
 }
@@ -113,6 +149,15 @@ pub struct SystemConfig {
     pub workload: WorkloadParams,
     /// Optional fault to inject (§6.1).
     pub fault: Option<FaultPlan>,
+    /// SafetyNet parameters (checkpoint cadence, validation latency, log
+    /// depth, coordination traffic). Only consulted when
+    /// [`Protection::ber`] is on.
+    pub ber: SafetyNetConfig,
+    /// End-to-end recovery: `Some` arms rollback/replay on detection —
+    /// checkpoints then carry full system snapshots. `None` (the default)
+    /// keeps BER a pure timing model and stops the run at detection, as
+    /// the error-detection experiments expect.
+    pub recovery: Option<RecoveryPolicy>,
     /// Declare a hang if no processor retires for this many cycles.
     pub watchdog_cycles: u64,
     /// Hard cycle limit.
@@ -142,6 +187,12 @@ impl SystemConfig {
         }
         if self.nodes > u8::MAX as usize {
             return Err(ConfigError::TooManyNodes { nodes: self.nodes });
+        }
+        if self.protection.ber {
+            self.ber.validate().map_err(ConfigError::Ber)?;
+        }
+        if self.recovery.is_some() && !self.protection.ber {
+            return Err(ConfigError::RecoveryWithoutBer);
         }
         Ok(())
     }
@@ -202,6 +253,8 @@ pub struct SystemBuilder {
     seed: u64,
     perturbation: u64,
     fault: Option<FaultPlan>,
+    ber: SafetyNetConfig,
+    recovery: Option<RecoveryPolicy>,
     watchdog_cycles: u64,
     max_cycles: u64,
     vc_words: usize,
@@ -224,6 +277,8 @@ impl Default for SystemBuilder {
             seed: 1,
             perturbation: 1,
             fault: None,
+            ber: SafetyNetConfig::default(),
+            recovery: None,
             watchdog_cycles: 200_000,
             max_cycles: 50_000_000,
             vc_words: 32,
@@ -309,6 +364,21 @@ impl SystemBuilder {
         self
     }
 
+    /// Overrides the SafetyNet parameters (checkpoint cadence, validation
+    /// latency, log depth).
+    pub fn ber_config(mut self, cfg: SafetyNetConfig) -> Self {
+        self.ber = cfg;
+        self
+    }
+
+    /// Arms end-to-end recovery: on checker detection (or watchdog hang)
+    /// the system rolls back to the newest validated pre-error checkpoint
+    /// and replays, escalating per `policy`. Requires BER protection.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// Overrides the hang watchdog threshold.
     pub fn watchdog(mut self, cycles: u64) -> Self {
         self.watchdog_cycles = cycles;
@@ -372,6 +442,8 @@ impl SystemBuilder {
                 model: self.model,
             },
             fault: self.fault,
+            ber: self.ber,
+            recovery: self.recovery,
             watchdog_cycles: self.watchdog_cycles,
             max_cycles: self.max_cycles,
             vc_words: self.vc_words,
@@ -443,6 +515,37 @@ mod tests {
     #[should_panic(expected = "invalid system configuration")]
     fn build_panics_instead_of_wrapping() {
         let _ = SystemBuilder::new().nodes(1000).build();
+    }
+
+    #[test]
+    fn recovery_requires_ber_and_a_valid_safety_net() {
+        assert_eq!(
+            SystemBuilder::new()
+                .protection(Protection::BASE)
+                .recovery(RecoveryPolicy::default())
+                .into_config()
+                .err(),
+            Some(ConfigError::RecoveryWithoutBer)
+        );
+        let bad = SafetyNetConfig {
+            checkpoint_interval: 0,
+            ..SafetyNetConfig::default()
+        };
+        assert_eq!(
+            SystemBuilder::new().ber_config(bad).into_config().err(),
+            Some(ConfigError::Ber(BerConfigError::ZeroInterval))
+        );
+        // A Base config never consults the BER parameters, so an invalid
+        // SafetyNet is irrelevant there.
+        assert!(SystemBuilder::new()
+            .protection(Protection::BASE)
+            .ber_config(bad)
+            .into_config()
+            .is_ok());
+        assert!(SystemBuilder::new()
+            .recovery(RecoveryPolicy::default())
+            .into_config()
+            .is_ok());
     }
 
     #[test]

@@ -19,9 +19,10 @@ pub mod config;
 pub mod report;
 pub mod system;
 
-pub use config::{ConfigError, Protection, SystemBuilder, SystemConfig};
+pub use config::{ConfigError, Protection, RecoveryPolicy, SystemBuilder, SystemConfig};
+pub use dvmc_ber::{BerConfigError, SafetyNetConfig};
 pub use dvmc_coherence::Protocol;
-pub use report::{mean_std, Detection, RunReport};
+pub use report::{mean_std, Detection, RecoveryOutcome, RecoveryReport, RunReport};
 pub use system::System;
 
 /// Runs one fully-specified simulation cell to completion and returns its

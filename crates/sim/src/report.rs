@@ -29,6 +29,33 @@ impl Detection {
     }
 }
 
+/// How a recovery episode ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoveryOutcome {
+    /// Rollback/replay succeeded: the run completed with no surviving
+    /// violations after the final replay.
+    Recovered,
+    /// The error re-manifested through every allowed retry (a persistent
+    /// fault, or one that escaped the checkpoint window); the run gave up
+    /// and the forensics carry the last detection.
+    Unrecoverable,
+}
+
+/// What end-to-end recovery did during a run (present only when the
+/// system armed recovery *and* at least one rollback happened or was
+/// refused).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecoveryReport {
+    /// Rollback/replay attempts performed.
+    pub attempts: u32,
+    /// Retry escalations (checkpoint-interval widenings).
+    pub escalations: u32,
+    /// The checkpoint cycle the last rollback restored.
+    pub checkpoint: Cycle,
+    /// How the episode ended.
+    pub outcome: RecoveryOutcome,
+}
+
 /// The result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -65,6 +92,13 @@ pub struct RunReport {
     /// Forensic event trace around the detection; `None` when
     /// observability is disabled or nothing was detected.
     pub forensics: Option<ViolationReport>,
+    /// End-to-end recovery outcome; `None` when recovery was not armed or
+    /// never triggered.
+    pub recovery: Option<RecoveryReport>,
+    /// Order-independent FNV-1a digest of final memory contents — the
+    /// recovery experiment's "byte-identical to a fault-free golden run"
+    /// comparison.
+    pub memory_digest: u64,
 }
 
 impl RunReport {

@@ -261,6 +261,7 @@ enum Step {
 /// A fixed litmus program for one thread, with perturbation-seeded timing
 /// jitter. Implements the poll loops via [`Fetch::AwaitLast`] control
 /// dependencies, exactly like the spin locks of the transaction workloads.
+#[derive(Clone)]
 pub struct LitmusStream {
     steps: Vec<Step>,
     pos: usize,
@@ -341,6 +342,10 @@ impl InstrStream for LitmusStream {
 
     fn transactions(&self) -> u64 {
         u64::from(self.done)
+    }
+
+    fn clone_box(&self) -> Box<dyn InstrStream + Send> {
+        Box::new(self.clone())
     }
 }
 

@@ -48,6 +48,7 @@ enum After {
 }
 
 /// A lock-based transaction stream for one thread (see crate docs).
+#[derive(Clone)]
 pub struct TxnStream {
     profile: Profile,
     layout: Layout,
@@ -420,6 +421,10 @@ impl InstrStream for TxnStream {
 
     fn transactions(&self) -> u64 {
         self.txns
+    }
+
+    fn clone_box(&self) -> Box<dyn InstrStream + Send> {
+        Box::new(self.clone())
     }
 }
 

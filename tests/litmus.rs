@@ -13,7 +13,9 @@
 //! model-allowed outcomes.
 
 use dvmc_consistency::{Model, OpClass};
-use dvmc_sim::{Protocol, SystemBuilder};
+use dvmc_faults::{Fault, FaultPlan};
+use dvmc_sim::{Protocol, RecoveryOutcome, RecoveryPolicy, SystemBuilder};
+use dvmc_types::NodeId;
 use dvmc_workloads::spec::WorkloadKind;
 use dvmc_workloads::LitmusTest;
 
@@ -101,6 +103,94 @@ fn litmus_conformance_pso() {
 #[test]
 fn litmus_conformance_rmo() {
     conformance_sweep(Model::Rmo);
+}
+
+/// Conformance must survive recovery: every litmus shape runs with full
+/// checkpoint/rollback/replay armed and a transient cache-data fault
+/// landing mid-run on thread 0. The fault is detected, the system rolls
+/// back to a validated checkpoint and replays — and the replayed
+/// execution must still satisfy the ordering tables: forbidden outcomes
+/// stay unobserved and no violation survives the rollback. A sweep that
+/// never actually recovered would pass vacuously, so the test also
+/// demands that a healthy majority of runs took the recovery path.
+#[test]
+fn litmus_conformance_survives_recovery() {
+    let mut recovered_runs = 0u64;
+    let mut total_runs = 0u64;
+    for test in LitmusTest::ALL {
+        for model in [Model::Sc, Model::Tso, Model::Pso, Model::Rmo] {
+            for protocol in [Protocol::Directory, Protocol::Snooping] {
+                let mut observed = 0u64;
+                for trial in 0..4u64 {
+                    let seed = dvmc_types::rng::derive_seed(0xFA_17 ^ trial, model as u64);
+                    let mut sys = SystemBuilder::new()
+                        .nodes(test.threads())
+                        .model(model)
+                        .protocol(protocol)
+                        .dvmc(true)
+                        .workload(WorkloadKind::Litmus(test), 1)
+                        .seed(seed)
+                        .record_commits(true)
+                        .recovery(RecoveryPolicy::default())
+                        .fault(FaultPlan {
+                            at_cycle: 100,
+                            fault: Fault::CacheBitFlip { node: NodeId(0) },
+                        })
+                        .watchdog(100_000)
+                        .max_cycles(2_000_000)
+                        .build();
+                    let report = sys.run_to_completion(2_000_000);
+                    let label = format!("{test}/{model}/{protocol:?}/seed{seed}+fault");
+                    assert!(
+                        report.completed && !report.hung,
+                        "{label}: run did not complete under recovery (cycles={}, hung={})",
+                        report.cycles,
+                        report.hung
+                    );
+                    assert!(
+                        report.violations.is_empty(),
+                        "{label}: a violation survived rollback/replay: {:?}",
+                        report.violations
+                    );
+                    if let Some(rec) = report.recovery {
+                        assert_eq!(
+                            rec.outcome,
+                            RecoveryOutcome::Recovered,
+                            "{label}: transient fault must be recoverable"
+                        );
+                        assert!(rec.attempts >= 1, "{label}: recovery without a rollback?");
+                        recovered_runs += 1;
+                    }
+                    total_runs += 1;
+                    let loads: Vec<Vec<u64>> = sys
+                        .commit_logs()
+                        .into_iter()
+                        .map(|log| {
+                            log.into_iter()
+                                .filter(|(_, class, _)| *class == OpClass::Load)
+                                .map(|(_, _, value)| value)
+                                .collect()
+                        })
+                        .collect();
+                    if test.relaxed_observed(&loads) {
+                        observed += 1;
+                    }
+                }
+                if test.forbidden(model) {
+                    assert_eq!(
+                        observed, 0,
+                        "{test}/{model}/{protocol:?}: forbidden outcome observed in a \
+                         recovered run ({observed}/4 trials)"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        recovered_runs * 2 >= total_runs,
+        "only {recovered_runs}/{total_runs} runs exercised rollback/replay — \
+         the fault is being masked and the sweep is vacuous"
+    );
 }
 
 /// The allowed direction, where the machine can show it: TSO's write
