@@ -121,13 +121,24 @@ pub fn lint_table(table: &OrderingTable) -> Vec<LintError> {
     errors
 }
 
-/// Entry-wise strength comparison: every ordering `weaker` requires over
-/// the concrete alphabet, `stronger` must require as well.
+/// Entry-wise strength comparison over the default alphabet
+/// ([`op_alphabet`]): every ordering `weaker` requires, `stronger` must
+/// require as well.
 pub fn lint_hierarchy_pair(stronger: &OrderingTable, weaker: &OrderingTable) -> Vec<LintError> {
-    let ops = op_alphabet();
+    lint_hierarchy_pair_over(&op_alphabet(), stronger, weaker)
+}
+
+/// [`lint_hierarchy_pair`] quantified over a caller-supplied alphabet.
+/// An empty alphabet is vacuously clean; a restricted alphabet checks
+/// the hierarchy over just those operation classes.
+pub fn lint_hierarchy_pair_over(
+    ops: &[OpClass],
+    stronger: &OrderingTable,
+    weaker: &OrderingTable,
+) -> Vec<LintError> {
     let mut errors = Vec::new();
-    for &first in &ops {
-        for &second in &ops {
+    for &first in ops {
+        for &second in ops {
             if weaker.requires(first, second) && !stronger.requires(first, second) {
                 errors.push(LintError::HierarchyViolation {
                     stronger: stronger.name(),
@@ -293,6 +304,84 @@ mod tests {
         assert!(!Model::Tso
             .table()
             .requires(OpClass::Store, OpClass::Load));
+    }
+
+    #[test]
+    fn empty_alphabet_is_vacuously_clean() {
+        // With nothing to quantify over, even an inverted pair (RMO
+        // claimed stronger than SC) produces no findings.
+        let errors =
+            lint_hierarchy_pair_over(&[], Model::Rmo.table(), Model::Sc.table());
+        assert!(errors.is_empty(), "vacuous check found {errors:?}");
+    }
+
+    #[test]
+    fn every_model_is_as_strong_as_itself() {
+        for model in Model::ALL {
+            let errors = lint_hierarchy_pair(model.table(), model.table());
+            assert!(
+                errors.is_empty(),
+                "{} vs itself: {errors:?}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn chain_pairwise_matrix_is_clean_exactly_above_the_diagonal() {
+        // The chain is strictly decreasing in strength, so comparing
+        // chain[i] (claimed stronger) against chain[j] must be clean iff
+        // i <= j — including non-adjacent pairs like SC vs RMO, and
+        // including the inverted direction, which must always produce a
+        // concrete counterexample.
+        let chain = [Model::Sc, Model::Tso, Model::Pso, Model::Rmo];
+        for (i, a) in chain.iter().enumerate() {
+            for (j, b) in chain.iter().enumerate() {
+                let errors = lint_hierarchy_pair(a.table(), b.table());
+                assert_eq!(
+                    errors.is_empty(),
+                    i <= j,
+                    "{} vs {}: {errors:?}",
+                    a.name(),
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_alphabet_hides_exactly_the_out_of_scope_violations() {
+        // TSO relaxes only Store->Load relative to SC, so over a
+        // store-free alphabet the inverted pair TSO-vs-SC is clean...
+        let loads_only = [OpClass::Load];
+        assert!(lint_hierarchy_pair_over(
+            &loads_only,
+            Model::Tso.table(),
+            Model::Sc.table()
+        )
+        .is_empty());
+        // ...and reappears the moment stores are in scope.
+        let both = [OpClass::Load, OpClass::Store];
+        let errors =
+            lint_hierarchy_pair_over(&both, Model::Tso.table(), Model::Sc.table());
+        assert!(errors.iter().any(|e| matches!(
+            e,
+            LintError::HierarchyViolation {
+                first: OpClass::Store,
+                second: OpClass::Load,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn predicates_agree_for_every_model_including_pc() {
+        // PC sits off the SC/TSO/PSO/RMO chain; its capability helpers
+        // still have to match both the expectations and its own table.
+        for model in Model::ALL {
+            let errors = lint_model_predicates(model);
+            assert!(errors.is_empty(), "{}: {errors:?}", model.name());
+        }
     }
 
     #[test]

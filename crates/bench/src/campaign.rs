@@ -29,8 +29,8 @@
 use crate::ExpOpts;
 use dvmc_core::ObsMetrics;
 use dvmc_sim::{RunReport, SystemConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+
+
 use std::time::{Duration, Instant};
 
 /// One unit of work: a fully specified simulation run.
@@ -143,52 +143,34 @@ impl Campaign {
     pub fn run(&self, jobs: usize) -> CampaignResult {
         let total = self.cells.len();
         let workers = jobs.max(1).min(total.max(1));
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, RunReport, Duration)>();
         let started = Instant::now();
-        let mut slots: Vec<Option<(RunReport, Duration)>> = vec![None; total];
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let cells = &self.cells;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    let t0 = Instant::now();
-                    let report = dvmc_sim::run_cell(&cell.cfg, cell.max_cycles);
-                    if tx.send((i, report, t0.elapsed())).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            let mut done = 0usize;
-            for (i, report, wall) in rx {
-                done += 1;
+        let results = crate::pool::parallel_map_indexed(
+            &self.cells,
+            workers,
+            |_, cell| {
+                let t0 = Instant::now();
+                let report = dvmc_sim::run_cell(&cell.cfg, cell.max_cycles);
+                (report, t0.elapsed())
+            },
+            |done| {
                 eprint!(
-                    "\r[campaign] {done}/{total} cells ({} workers, {:.1}s)   ",
-                    workers,
+                    "\r[campaign] {done}/{total} cells ({workers} workers, {:.1}s)   ",
                     started.elapsed().as_secs_f64()
                 );
-                slots[i] = Some((report, wall));
-            }
-            if total > 0 {
-                eprintln!();
-            }
-        });
+            },
+        );
+        if total > 0 {
+            eprintln!();
+        }
         let outcomes = self
             .cells
             .iter()
-            .zip(slots)
-            .map(|(cell, slot)| {
-                let (report, wall) = slot.expect("worker finished without reporting a cell");
-                CellOutcome {
-                    tag: cell.tag.clone(),
-                    trial: cell.trial,
-                    report,
-                    wall,
-                }
+            .zip(results)
+            .map(|(cell, (report, wall))| CellOutcome {
+                tag: cell.tag.clone(),
+                trial: cell.trial,
+                report,
+                wall,
             })
             .collect();
         CampaignResult {

@@ -20,8 +20,10 @@
 //! * `--protocol=directory|snooping` — where applicable
 
 pub mod campaign;
+pub mod pool;
 
 pub use campaign::{Campaign, CampaignResult, Cell, CellOutcome};
+pub use pool::parallel_map_indexed;
 
 use dvmc_sim::{mean_std, Protection, Protocol, RunReport, System, SystemBuilder, SystemConfig};
 use dvmc_workloads::spec::WorkloadKind;

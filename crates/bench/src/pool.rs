@@ -1,0 +1,104 @@
+//! A minimal deterministic worker pool: the campaign runner's scheduling
+//! pattern, factored out so other fan-out consumers (the analyzer's
+//! parallel BFS frontier) share one implementation.
+//!
+//! Work distribution is a shared atomic cursor — an idle worker claims
+//! the next unstarted item, so long items never leave the pool idle
+//! behind a static partition. Results land at their submission index
+//! regardless of completion order, which is the whole determinism story:
+//! callers that fold the returned vector in index order observe the same
+//! sequence at any worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Applies `work` to every item of `items` on `jobs` worker threads
+/// (clamped to at least one and at most the item count) and returns the
+/// results in item order. `on_done(completed_so_far)` runs on the
+/// calling thread after each completion, for progress reporting.
+///
+/// # Panics
+///
+/// Panics propagate from worker threads: a panicking `work` call poisons
+/// the scope and re-raises on join, matching the inline-loop behavior at
+/// `jobs = 1`. Callers that must survive panics catch them inside `work`.
+pub fn parallel_map_indexed<T, R, F, P>(items: &[T], jobs: usize, work: F, mut on_done: P) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    P: FnMut(usize),
+{
+    let total = items.len();
+    let workers = jobs.max(1).min(total.max(1));
+    if workers <= 1 {
+        // Inline fast path: no thread, channel, or slot overhead.
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let r = work(i, item);
+                on_done(i + 1);
+                r
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let work = &work;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                if tx.send((i, work(i, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut done = 0usize;
+        for (i, r) in rx {
+            done += 1;
+            slots[i] = Some(r);
+            on_done(done);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker finished without reporting an item"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_submission_order_at_any_worker_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            let got = parallel_map_indexed(&items, jobs, |_, &i| i * i, |_| {});
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_completion() {
+        let items = [1u8; 17];
+        let mut seen = 0usize;
+        let _ = parallel_map_indexed(&items, 4, |_, _| (), |done| seen = seen.max(done));
+        assert_eq!(seen, 17);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u8> = parallel_map_indexed(&[] as &[u8], 8, |_, &b| b, |_| {});
+        assert!(got.is_empty());
+    }
+}

@@ -191,6 +191,14 @@ impl<S> CacheArray<S> {
         self.sets * self.ways
     }
 
+    /// Number of sets (conflict classes). Blocks whose addresses map to
+    /// the same set index compete for the same ways; the analyzer's
+    /// symmetry reduction uses this to decide whether the blocks in play
+    /// are conflict-interchangeable.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
     /// Iterates over resident lines.
     pub fn iter(&self) -> impl Iterator<Item = &Line<S>> {
         self.lines.iter().flatten()

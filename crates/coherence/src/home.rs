@@ -43,6 +43,20 @@ struct DirEntry {
     sharers: u64,
 }
 
+/// The kind of an in-flight home transaction, exposed for the analyzer's
+/// transient-state audit (mirrors the private `TxnKind`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HomeBusyKind {
+    /// Read miss being served by an owner recall.
+    GetS,
+    /// Write miss being served by recall/invalidation.
+    GetM,
+    /// O→M upgrade collecting invalidation acks.
+    Upgrade,
+    /// Grant sent; waiting for the requester's Unblock.
+    AwaitUnblock,
+}
+
 #[derive(Clone, Copy, Debug)]
 enum TxnKind {
     GetS,
@@ -120,6 +134,12 @@ pub struct HomeCtrl {
     recent_reads: VecDeque<BlockAddr>,
     /// Ring of recently write-owned blocks (fault-injection targeting).
     recent_owned: VecDeque<BlockAddr>,
+    /// Test hook: re-introduces the pre-hardening ack accounting that
+    /// counted stray acks against `AwaitUnblock` transactions (the defect
+    /// class recovery fault-injection first exposed in the field). Off in
+    /// production; the analyzer's `ack-panic` mutant switches it on to
+    /// prove the model checker rediscovers the panic statically.
+    legacy_strict_acks: bool,
     last_order: u64,
     now: Cycle,
 }
@@ -148,10 +168,17 @@ impl HomeCtrl {
             deferred: HashMap::new(),
             recent_reads: VecDeque::new(),
             recent_owned: VecDeque::new(),
+            legacy_strict_acks: false,
             last_order: 0,
             cfg,
             now: 0,
         }
+    }
+
+    /// Re-enables the pre-hardening ack accounting (see the field doc).
+    /// Analyzer mutant hook; never set in production configurations.
+    pub fn set_legacy_strict_acks(&mut self, on: bool) {
+        self.legacy_strict_acks = on;
     }
 
     /// The home node id.
@@ -253,35 +280,38 @@ impl HomeCtrl {
 
     /// Appends a canonical, deterministic digest of all protocol-relevant
     /// home state (memory, directory, transactions, queues) for the
-    /// static analyzer's state-graph fingerprinting. Wall-clock time,
-    /// statistics, fault-targeting rings, and checker internals are
-    /// excluded; the analyzer runs with zero latencies and verification
-    /// off, so none of those affect behavior.
-    pub fn probe_digest(&self, out: &mut Vec<u64>) {
+    /// static analyzer's state-graph fingerprinting, relabeled through
+    /// `r` on the fly (sorted collections are re-sorted under the
+    /// relabeled keys; the home's own id is a fixed point of the
+    /// symmetry group). Wall-clock time, statistics, fault-targeting
+    /// rings, and checker internals are excluded; the analyzer runs with
+    /// zero latencies and verification off, so none of those affect
+    /// behavior.
+    pub fn probe_digest(&self, r: &crate::probe::Relabel, out: &mut Vec<u64>) {
         use crate::probe::{encode_addr_req, encode_msg, snoop_kind_code};
         out.extend([0x803E, self.id.index() as u64, self.last_order]);
 
         let mut mem: Vec<(&BlockAddr, &MemBlock)> = self.memory.iter().collect();
-        mem.sort_by_key(|(a, _)| **a);
+        mem.sort_by_key(|(a, _)| r.block(**a));
         out.push(mem.len() as u64);
         for (addr, m) in mem {
-            out.extend([addr.0, u64::from(m.ecc)]);
+            out.extend([r.block(*addr).0, u64::from(m.ecc)]);
             out.extend_from_slice(m.data.words());
         }
 
         let mut dir: Vec<(&BlockAddr, &DirEntry)> = self.dir.iter().collect();
-        dir.sort_by_key(|(a, _)| **a);
+        dir.sort_by_key(|(a, _)| r.block(**a));
         out.push(dir.len() as u64);
         for (addr, e) in dir {
             out.extend([
-                addr.0,
-                e.owner.map_or(u64::MAX, |o| o.index() as u64),
-                e.sharers,
+                r.block(*addr).0,
+                e.owner.map_or(u64::MAX, |o| r.node(o).index() as u64),
+                r.sharers(e.sharers),
             ]);
         }
 
         let mut busy: Vec<(&BlockAddr, &Txn)> = self.busy.iter().collect();
-        busy.sort_by_key(|(a, _)| **a);
+        busy.sort_by_key(|(a, _)| r.block(**a));
         out.push(busy.len() as u64);
         for (addr, txn) in busy {
             let kind = match txn.kind {
@@ -291,9 +321,9 @@ impl HomeCtrl {
                 TxnKind::AwaitUnblock => 4,
             };
             out.extend([
-                addr.0,
+                r.block(*addr).0,
                 kind,
-                txn.requester.index() as u64,
+                r.node(txn.requester).index() as u64,
                 u64::from(txn.need_acks),
                 u64::from(txn.need_data),
             ]);
@@ -307,34 +337,34 @@ impl HomeCtrl {
         }
 
         let mut blocked: Vec<(&BlockAddr, &VecDeque<Msg>)> = self.blocked.iter().collect();
-        blocked.sort_by_key(|(a, _)| **a);
+        blocked.sort_by_key(|(a, _)| r.block(**a));
         out.push(blocked.len() as u64);
         for (addr, q) in blocked {
-            out.extend([addr.0, q.len() as u64]);
+            out.extend([r.block(*addr).0, q.len() as u64]);
             for msg in q {
-                encode_msg(msg, out);
+                encode_msg(msg, r, out);
             }
         }
 
         let mut owners: Vec<(&BlockAddr, &NodeId)> = self.snoop_owner.iter().collect();
-        owners.sort_by_key(|(a, _)| **a);
+        owners.sort_by_key(|(a, _)| r.block(**a));
         out.push(owners.len() as u64);
         for (addr, o) in owners {
-            out.extend([addr.0, o.index() as u64]);
+            out.extend([r.block(*addr).0, r.node(*o).index() as u64]);
         }
 
-        let mut wb: Vec<BlockAddr> = self.awaiting_wb.iter().copied().collect();
+        let mut wb: Vec<BlockAddr> = self.awaiting_wb.iter().map(|a| r.block(*a)).collect();
         wb.sort_unstable();
         out.push(wb.len() as u64);
         out.extend(wb.iter().map(|a| a.0));
 
         let mut deferred: Vec<_> = self.deferred.iter().collect();
-        deferred.sort_by_key(|(a, _): &(&BlockAddr, _)| **a);
+        deferred.sort_by_key(|(a, _): &(&BlockAddr, _)| r.block(**a));
         out.push(deferred.len() as u64);
         for (addr, q) in deferred {
-            out.extend([addr.0, q.len() as u64]);
+            out.extend([r.block(*addr).0, q.len() as u64]);
             for (to, kind, order) in q {
-                out.extend([to.index() as u64, snoop_kind_code(*kind), *order]);
+                out.extend([r.node(*to).index() as u64, snoop_kind_code(*kind), *order]);
             }
         }
 
@@ -344,8 +374,8 @@ impl HomeCtrl {
             .out_delayed
             .iter()
             .map(|(_, o)| {
-                let mut enc = vec![o.dst.index() as u64];
-                encode_msg(&o.msg, &mut enc);
+                let mut enc = vec![r.dst(o.dst, &o.msg).index() as u64];
+                encode_msg(&o.msg, r, &mut enc);
                 enc
             })
             .collect();
@@ -357,18 +387,46 @@ impl HomeCtrl {
 
         out.push(self.inbox.len() as u64);
         for msg in &self.inbox {
-            encode_msg(msg, out);
+            encode_msg(msg, r, out);
         }
         out.push(self.msg_out.len() as u64);
         for o in &self.msg_out {
-            out.push(o.dst.index() as u64);
-            encode_msg(&o.msg, out);
+            out.push(r.dst(o.dst, &o.msg).index() as u64);
+            encode_msg(&o.msg, r, out);
         }
         out.push(self.snoop_in.len() as u64);
         for (order, req) in &self.snoop_in {
             out.push(*order);
-            encode_addr_req(req, out);
+            encode_addr_req(req, r, out);
         }
+    }
+
+    /// The kinds of in-flight home transactions, for the analyzer's
+    /// transient-state audit.
+    pub fn probe_busy_kinds(&self) -> Vec<HomeBusyKind> {
+        self.busy
+            .values()
+            .map(|t| match t.kind {
+                TxnKind::GetS => HomeBusyKind::GetS,
+                TxnKind::GetM => HomeBusyKind::GetM,
+                TxnKind::Upgrade => HomeBusyKind::Upgrade,
+                TxnKind::AwaitUnblock => HomeBusyKind::AwaitUnblock,
+            })
+            .collect()
+    }
+
+    /// Whether any request is queued behind a busy block (directory).
+    pub fn probe_has_blocked(&self) -> bool {
+        self.blocked.values().any(|q| !q.is_empty())
+    }
+
+    /// Snooping transients: (a writeback is in flight, a supply is
+    /// deferred behind one).
+    pub fn probe_snoop_transients(&self) -> (bool, bool) {
+        (
+            !self.awaiting_wb.is_empty(),
+            self.deferred.values().any(|q| !q.is_empty()),
+        )
     }
 
     /// Fault injection: flips a bit of a recently read memory block
@@ -767,9 +825,11 @@ impl HomeCtrl {
         // the requester's Unblock expects no acks: a stray ack landing
         // here (a duplicate or misroute manufactured by fault injection)
         // completes nothing. The checkers judge such traffic; the
-        // protocol engine must only survive it.
+        // protocol engine must only survive it. (`legacy_strict_acks`
+        // drops that exemption to reproduce the historical defect.)
+        let strict = self.legacy_strict_acks;
         let done = match self.busy.get_mut(&addr) {
-            Some(txn) if !matches!(txn.kind, TxnKind::AwaitUnblock) => {
+            Some(txn) if strict || !matches!(txn.kind, TxnKind::AwaitUnblock) => {
                 txn.need_acks = txn.need_acks.saturating_sub(1);
                 txn.need_acks == 0 && !(txn.need_data && txn.data.is_none())
             }
@@ -783,8 +843,9 @@ impl HomeCtrl {
     fn handle_recall_ack(&mut self, addr: BlockAddr, data: Block) {
         // Recalled owner data refreshes memory.
         self.mem_write(addr, data);
+        let strict = self.legacy_strict_acks;
         let done = match self.busy.get_mut(&addr) {
-            Some(txn) if !matches!(txn.kind, TxnKind::AwaitUnblock) => {
+            Some(txn) if strict || !matches!(txn.kind, TxnKind::AwaitUnblock) => {
                 txn.data = Some(data);
                 txn.need_data = false;
                 txn.need_acks == 0

@@ -95,6 +95,24 @@ struct EvictBuf {
     state: Mosi,
 }
 
+/// The externally visible shape of one in-flight MSHR, exposed for the
+/// analyzer's transient-state audit. The flag combination identifies the
+/// transient protocol state the controller occupies (e.g. snooping
+/// `exclusive && !observed` is IM_AD: GetM issued, not yet ordered).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MshrView {
+    /// The in-flight request is a GetM.
+    pub exclusive: bool,
+    /// Snooping: our request has passed its ordering point.
+    pub observed: bool,
+    /// Snooping: data arrived before the ordering point and is stashed.
+    pub stashed: bool,
+    /// Snooping: held back behind our own pending writeback.
+    pub deferred: bool,
+    /// Snooping: we owe data to conflicting requests ordered after ours.
+    pub has_obligations: bool,
+}
+
 /// The per-node cache controller.
 #[derive(Clone)]
 pub struct CacheNode {
@@ -271,32 +289,40 @@ impl CacheNode {
 
     /// Appends a canonical, deterministic digest of all protocol-relevant
     /// controller state (caches, MSHRs, buffers, queues) for the static
-    /// analyzer's state-graph fingerprinting. Wall-clock time, statistics,
-    /// and checker internals are excluded; the analyzer runs with zero
-    /// latencies and verification off, so none of those affect behavior.
-    pub fn probe_digest(&self, out: &mut Vec<u64>) {
+    /// analyzer's state-graph fingerprinting, relabeled through `r` on
+    /// the fly (sorted collections are re-sorted under the relabeled
+    /// keys, so the stream equals the plain digest of the permuted
+    /// controller). Wall-clock time, statistics, and checker internals
+    /// are excluded; the analyzer runs with zero latencies and
+    /// verification off, so none of those affect behavior.
+    ///
+    /// Unordered-queue caveat: FIFO contents (inbox, outbox, waiting
+    /// lists) are emitted in their literal order, which the analyzer only
+    /// fingerprints at settled states where those queues are empty or
+    /// were filled in explicit action order — both permutation-stable.
+    pub fn probe_digest(&self, r: &crate::probe::Relabel, out: &mut Vec<u64>) {
         use crate::probe::{encode_addr_req, encode_msg, encode_proc_req, mosi_code, snoop_kind_code};
-        out.extend([0xD16E57, self.id.index() as u64, self.last_order]);
+        out.extend([0xD16E57, r.node(self.id).index() as u64, self.last_order]);
 
         let mut lines: Vec<&Line<Mosi>> = self.l2.iter().collect();
-        lines.sort_by_key(|l| l.addr);
+        lines.sort_by_key(|l| r.block(l.addr));
         out.push(lines.len() as u64);
         for l in lines {
-            out.extend([l.addr.0, mosi_code(l.state), u64::from(l.ecc)]);
+            out.extend([r.block(l.addr).0, mosi_code(l.state), u64::from(l.ecc)]);
             out.extend_from_slice(l.data.words());
         }
 
-        let mut l1_addrs: Vec<BlockAddr> = self.l1.iter().map(|l| l.addr).collect();
+        let mut l1_addrs: Vec<BlockAddr> = self.l1.iter().map(|l| r.block(l.addr)).collect();
         l1_addrs.sort_unstable();
         out.push(l1_addrs.len() as u64);
         out.extend(l1_addrs.iter().map(|a| a.0));
 
         let mut mshrs: Vec<(&BlockAddr, &Mshr)> = self.mshrs.iter().collect();
-        mshrs.sort_by_key(|(a, _)| **a);
+        mshrs.sort_by_key(|(a, _)| r.block(**a));
         out.push(mshrs.len() as u64);
         for (addr, m) in mshrs {
             out.extend([
-                addr.0,
+                r.block(*addr).0,
                 u64::from(m.exclusive),
                 u64::from(m.observed),
                 u64::from(m.deferred),
@@ -312,25 +338,25 @@ impl CacheNode {
             }
             out.push(m.obligations.len() as u64);
             for (kind, node, order) in &m.obligations {
-                out.extend([snoop_kind_code(*kind), node.index() as u64, *order]);
+                out.extend([snoop_kind_code(*kind), r.node(*node).index() as u64, *order]);
             }
             out.push(m.waiting.len() as u64);
             for req in &m.waiting {
-                encode_proc_req(req, out);
+                encode_proc_req(req, r, out);
             }
         }
 
         let mut evicting: Vec<(&BlockAddr, &EvictBuf)> = self.evicting.iter().collect();
-        evicting.sort_by_key(|(a, _)| **a);
+        evicting.sort_by_key(|(a, _)| r.block(**a));
         out.push(evicting.len() as u64);
         for (addr, buf) in evicting {
-            out.extend([addr.0, mosi_code(buf.state)]);
+            out.extend([r.block(*addr).0, mosi_code(buf.state)]);
             out.extend_from_slice(buf.data.words());
         }
 
         out.push(self.proc_in.len() as u64);
         for (_, req) in &self.proc_in {
-            encode_proc_req(req, out);
+            encode_proc_req(req, r, out);
         }
         out.push(self.resp_out.len() as u64);
         for (_, resp) in &self.resp_out {
@@ -338,22 +364,38 @@ impl CacheNode {
         }
         out.push(self.inbox.len() as u64);
         for msg in &self.inbox {
-            encode_msg(msg, out);
+            encode_msg(msg, r, out);
         }
         out.push(self.msg_out.len() as u64);
         for o in &self.msg_out {
-            out.push(o.dst.index() as u64);
-            encode_msg(&o.msg, out);
+            out.push(r.dst(o.dst, &o.msg).index() as u64);
+            encode_msg(&o.msg, r, out);
         }
         out.push(self.addr_out.len() as u64);
         for req in &self.addr_out {
-            encode_addr_req(req, out);
+            encode_addr_req(req, r, out);
         }
         out.push(self.snoop_in.len() as u64);
         for (order, req) in &self.snoop_in {
             out.push(*order);
-            encode_addr_req(req, out);
+            encode_addr_req(req, r, out);
         }
+    }
+
+    /// A flag view of the in-flight MSHRs, for the analyzer's
+    /// transient-state audit (which transient controller states — IS_D,
+    /// IM_AD, and friends — were actually occupied in a reachable state).
+    pub fn probe_mshrs(&self) -> Vec<MshrView> {
+        self.mshrs
+            .values()
+            .map(|m| MshrView {
+                exclusive: m.exclusive,
+                observed: m.observed,
+                stashed: m.stashed.is_some(),
+                deferred: m.deferred,
+                has_obligations: !m.obligations.is_empty(),
+            })
+            .collect()
     }
 
     /// Fault injection: flips a data bit in a resident L2 line without
