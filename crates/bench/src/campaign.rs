@@ -437,8 +437,9 @@ fn obs_metrics_json(m: &ObsMetrics) -> String {
 }
 
 /// Minimal JSON string escaping (tags are ASCII identifiers, but quote
-/// them defensively).
-fn json_str(s: &str) -> String {
+/// them defensively). Shared with the `exp_*` binaries that emit their
+/// own canonical artifacts (e.g. `exp_fuzz`).
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

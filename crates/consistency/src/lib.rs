@@ -22,8 +22,10 @@
 
 pub mod membar;
 pub mod op;
+pub mod oracle;
 pub mod table;
 
 pub use membar::MembarMask;
 pub use op::{OpClass, OpKind};
+pub use oracle::{verify, verify_model, CommitRecord, Inconsistency, Verdict};
 pub use table::{requires_between, Model, OrderingTable, Requirement};

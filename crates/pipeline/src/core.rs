@@ -19,7 +19,7 @@
 
 use crate::stream::{Fetch, Instr, InstrStream};
 use dvmc_coherence::{ProcReq, ProcResp};
-use dvmc_consistency::{MembarMask, Model, OpClass};
+use dvmc_consistency::{CommitRecord, MembarMask, Model, OpClass};
 use dvmc_core::violation::{UniprocViolation, Violation};
 use dvmc_core::{ReorderChecker, ReplayLookup, UniprocChecker, UniprocCheckerConfig};
 use dvmc_types::{BlockAddr, Cycle, SeqNum, WordAddr};
@@ -136,6 +136,11 @@ struct RobEntry {
     gen: u64,
     performed: bool,
     remote_write_observed: bool,
+    /// The load's value came from LSQ or write-buffer forwarding, not
+    /// from the cache: immune to invalidations (forwarding from an own
+    /// program-order-earlier store is legal under every model), but its
+    /// commit-time replay may legitimately see a newer remote value.
+    forwarded: bool,
     /// SC mode: the store's perform-at-retire write has been issued.
     retire_issued: bool,
 }
@@ -194,7 +199,7 @@ pub struct Core {
     last_injection: Cycle,
     violations: Vec<Violation>,
     stats: CoreStats,
-    commit_log: Vec<(SeqNum, OpClass, u64)>,
+    commit_log: Vec<CommitRecord>,
     lsq_fault_armed: bool,
     stream_done: bool,
     now: Cycle,
@@ -238,8 +243,15 @@ impl Core {
 
     /// Takes the committed-operation log (requires
     /// [`CoreConfig::record_commits`]).
-    pub fn take_commit_log(&mut self) -> Vec<(SeqNum, OpClass, u64)> {
+    pub fn take_commit_log(&mut self) -> Vec<CommitRecord> {
         std::mem::take(&mut self.commit_log)
+    }
+
+    /// The committed-operation log, without draining it (requires
+    /// [`CoreConfig::record_commits`]). The run report clones this so the
+    /// offline oracle can re-verify the execution after the fact.
+    pub fn commit_log(&self) -> &[CommitRecord] {
+        &self.commit_log
     }
 
     /// The core's configuration.
@@ -414,11 +426,15 @@ impl Core {
         }
         let speculative_loads = self.cfg.model.loads_ordered();
         // Mark committed (or RMO-performed, possibly still in-flight)
-        // loads whose replay is pending.
+        // loads whose replay is pending. Forwarded loads are marked even
+        // before commit: their value came from an own program-order
+        // store, not the invalidated line, so re-executing them is
+        // pointless — but their replay may now legitimately read a newer
+        // remote value (§4.1 speculation window).
         for e in &mut self.rob {
             if e.class == OpClass::Load
                 && matches!(e.state, EState::Executed | EState::Issued)
-                && (e.committed || !speculative_loads)
+                && (e.committed || !speculative_loads || e.forwarded)
                 && e.vstate != VState::Done
                 && blocks.contains(&e.addr.block())
             {
@@ -430,10 +446,12 @@ impl Core {
         }
         // Squash from the oldest matching uncommitted load whose value is
         // bound or in flight (an issued load's value returns from a
-        // pre-invalidation cache read and is equally stale).
+        // pre-invalidation cache read and is equally stale). Forwarded
+        // loads are skipped: their binding is invalidation-immune.
         let first = self.rob.iter().position(|e| {
             e.class == OpClass::Load
                 && !e.committed
+                && !e.forwarded
                 && matches!(e.state, EState::Executed | EState::Issued)
                 && blocks.contains(&e.addr.block())
         });
@@ -458,6 +476,7 @@ impl Core {
                     e.state = EState::Waiting;
                     e.value = 0;
                     e.performed = false;
+                    e.forwarded = false;
                 }
                 OpClass::Atomic => {
                     // Atomics only issue at the ROB head and are never
@@ -566,6 +585,7 @@ impl Core {
             gen: self.gen_counter,
             performed: false,
             remote_write_observed: false,
+            forwarded: false,
             retire_issued: false,
         });
     }
@@ -676,6 +696,7 @@ impl Core {
             let e = &mut self.rob[idx];
             e.state = EState::Executed;
             e.value = value;
+            e.forwarded = true;
             if model == Model::Rmo {
                 self.perform_load_now(seq);
             }
@@ -852,7 +873,13 @@ impl Core {
                 self.recent_values.pop_front();
             }
             if self.cfg.record_commits {
-                self.commit_log.push((seq, class, committed_value));
+                self.commit_log.push(CommitRecord {
+                    seq,
+                    class,
+                    addr,
+                    value: committed_value,
+                    store_value: if class.writes() { store_value } else { 0 },
+                });
             }
             if self.awaiting == Some(seq) {
                 self.awaiting = None;

@@ -75,8 +75,8 @@ impl Rig {
         self.cores[i]
             .take_commit_log()
             .into_iter()
-            .filter(|(_, c, _)| *c == OpClass::Load)
-            .map(|(_, _, v)| v)
+            .filter(|r| r.class == OpClass::Load)
+            .map(|r| r.value)
             .collect()
     }
 }

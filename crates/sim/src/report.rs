@@ -1,6 +1,7 @@
 //! Run reports: everything the experiment harnesses consume.
 
 use dvmc_coherence::CacheStats;
+use dvmc_consistency::CommitRecord;
 use dvmc_core::{ObsMetrics, UniprocStats, Violation, ViolationReport};
 use dvmc_faults::Fault;
 use dvmc_pipeline::CoreStats;
@@ -99,6 +100,10 @@ pub struct RunReport {
     /// recovery experiment's "byte-identical to a fault-free golden run"
     /// comparison.
     pub memory_digest: u64,
+    /// Per-core committed-operation logs, for offline re-verification by
+    /// the consistency oracle (`dvmc_consistency::oracle`); empty unless
+    /// the configuration set `record_commits`.
+    pub commit_logs: Vec<Vec<CommitRecord>>,
 }
 
 impl RunReport {

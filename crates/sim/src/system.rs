@@ -221,11 +221,13 @@ impl System {
         }
     }
 
-    /// Drains each core's commit log (one `(seq, class, value)` entry per
-    /// committed memory op). Empty unless the configuration set
-    /// `record_commits`; used by the litmus conformance harness to observe
-    /// the values loads actually returned.
-    pub fn commit_logs(&mut self) -> Vec<Vec<(dvmc_types::SeqNum, dvmc_consistency::OpClass, u64)>> {
+    /// Drains each core's commit log (one [`CommitRecord`] per committed
+    /// memory op). Empty unless the configuration set `record_commits`;
+    /// used by the litmus conformance harness to observe the values loads
+    /// actually returned, and by the offline consistency oracle.
+    ///
+    /// [`CommitRecord`]: dvmc_consistency::CommitRecord
+    pub fn commit_logs(&mut self) -> Vec<Vec<dvmc_consistency::CommitRecord>> {
         self.cores.iter_mut().map(Core::take_commit_log).collect()
     }
 
@@ -654,6 +656,13 @@ impl System {
             forensics,
             recovery,
             memory_digest,
+            // Cloned, not drained: `commit_logs()` still works after
+            // `report()` and vice versa.
+            commit_logs: if self.cfg.record_commits {
+                self.cores.iter().map(|c| c.commit_log().to_vec()).collect()
+            } else {
+                Vec::new()
+            },
         }
     }
 }

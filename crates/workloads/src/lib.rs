@@ -23,11 +23,13 @@
 //! Runs are deterministic functions of the seed; §5's ten perturbed runs
 //! derive per-run seeds via `dvmc_types::rng::perturbation_seed`.
 
+pub mod fuzz;
 pub mod layout;
 pub mod litmus;
 pub mod spec;
 pub mod txn;
 
+pub use fuzz::{build_fuzz_streams, generate as generate_fuzz_program, FuzzProgram};
 pub use layout::Layout;
 pub use litmus::{build_litmus_streams, LitmusStream, LitmusTest};
 pub use spec::{build_streams, Profile, WorkloadKind, WorkloadParams};

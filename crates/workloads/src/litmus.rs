@@ -14,7 +14,7 @@
 //! harness (`tests/litmus.rs`) asserts that outcomes the table forbids
 //! are never observed and that DVMC raises no violation on allowed ones.
 
-use dvmc_consistency::{Model, OpClass};
+use dvmc_consistency::{MembarMask, Model, OpClass};
 use dvmc_pipeline::{Fetch, Instr, InstrStream};
 use dvmc_types::rng::{det_rng, DetRng};
 use dvmc_types::{SeqNum, WordAddr};
@@ -25,6 +25,12 @@ use std::collections::VecDeque;
 /// from the transaction-workload regions.
 const LITMUS_X: u64 = 0x1000;
 const LITMUS_Y: u64 = 0x2000;
+/// Done flags: shapes whose verdict depends on the *final coherence
+/// order* of a variable hand the observation to a dedicated observer
+/// thread, which waits on these before reading. Distinct blocks from the
+/// data variables.
+const LITMUS_D0: u64 = 0x4000;
+const LITMUS_D1: u64 = 0x5000;
 
 /// The litmus shapes of the conformance suite.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -52,17 +58,40 @@ pub enum LitmusTest {
     /// A non-monotone read sequence violates coherence under *every*
     /// model.
     Corr,
+    /// S: `t0: x=2; y=1` / `t1: poll y==1; x=1`. The outcome where `x=1`
+    /// loses the coherence race (final `x==2`) requires Store→Store (t0)
+    /// or Load→Store (t1) reordering. A done-flag observer thread reads
+    /// the final value of `x`.
+    S,
+    /// R: `t0: x=1; y=1` / `t1: y=2; r=x`. The outcome `r==0` with
+    /// `y=2` winning coherence (final `y==2`) requires Store→Store (t0)
+    /// or Store→Load (t1) reordering — forbidden only under SC.
+    R,
+    /// 2+2W: `t0: x=1; y=2` / `t1: y=1; x=2`. Both *first* stores winning
+    /// coherence (final `x==1 && y==1`) requires Store→Store reordering.
+    TwoPlusTwoW,
+    /// CoWW: `t0: x=1; x=2`. Final `x==1` (the younger same-address store
+    /// losing coherence) violates per-location order under *every* model.
+    CoWw,
+    /// CoRW1: `t0: r=x; x=1`. `r==1` means the load observed its own
+    /// program-order-later store — forbidden under *every* model.
+    CoRw1,
 }
 
 impl LitmusTest {
     /// All litmus shapes, in presentation order.
-    pub const ALL: [LitmusTest; 6] = [
+    pub const ALL: [LitmusTest; 11] = [
         LitmusTest::Sb,
         LitmusTest::Mp,
         LitmusTest::Lb,
         LitmusTest::Wrc,
         LitmusTest::Iriw,
         LitmusTest::Corr,
+        LitmusTest::S,
+        LitmusTest::R,
+        LitmusTest::TwoPlusTwoW,
+        LitmusTest::CoWw,
+        LitmusTest::CoRw1,
     ];
 
     /// Display name.
@@ -74,14 +103,24 @@ impl LitmusTest {
             LitmusTest::Wrc => "wrc",
             LitmusTest::Iriw => "iriw",
             LitmusTest::Corr => "corr",
+            LitmusTest::S => "s",
+            LitmusTest::R => "r",
+            LitmusTest::TwoPlusTwoW => "2+2w",
+            LitmusTest::CoWw => "coww",
+            LitmusTest::CoRw1 => "corw1",
         }
     }
 
     /// The number of hardware threads the shape needs.
     pub fn threads(self) -> usize {
         match self {
-            LitmusTest::Sb | LitmusTest::Mp | LitmusTest::Lb | LitmusTest::Corr => 2,
-            LitmusTest::Wrc => 3,
+            LitmusTest::CoRw1 => 1,
+            LitmusTest::Sb
+            | LitmusTest::Mp
+            | LitmusTest::Lb
+            | LitmusTest::Corr
+            | LitmusTest::CoWw => 2,
+            LitmusTest::Wrc | LitmusTest::S | LitmusTest::R | LitmusTest::TwoPlusTwoW => 3,
             LitmusTest::Iriw => 4,
         }
     }
@@ -107,7 +146,15 @@ impl LitmusTest {
             LitmusTest::Lb => ls,
             LitmusTest::Wrc => ls && ll,
             LitmusTest::Iriw => ll,
-            LitmusTest::Corr => true,
+            // S's cycle needs t0's Store→Store and t1's Load→Store held.
+            LitmusTest::S => ss && ls,
+            // R's cycle needs t0's Store→Store and t1's Store→Load held
+            // — only SC keeps both.
+            LitmusTest::R => ss && sl,
+            // 2+2W's cycle is two Store→Store edges plus coherence.
+            LitmusTest::TwoPlusTwoW => ss,
+            // Per-location ordering is model-independent.
+            LitmusTest::Corr | LitmusTest::CoWw | LitmusTest::CoRw1 => true,
         }
     }
 
@@ -202,6 +249,118 @@ impl LitmusTest {
                     .flat_map(|_| [Step::Jitter(30), load(LITMUS_X)])
                     .collect(),
             ],
+            // t2 observes the final coherence winner of x: it waits for
+            // t1's done flag (written after t1's store under the models
+            // that forbid S) and a drain margin, then reads. Final x==2
+            // means t1's x=1 lost the coherence race despite observing
+            // y==1 — the forbidden cycle.
+            LitmusTest::S => vec![
+                vec![Step::Jitter(200), store(LITMUS_X, 2), store(LITMUS_Y, 1)],
+                vec![
+                    Poll {
+                        addr: WordAddr(LITMUS_Y),
+                        until: 1,
+                    },
+                    store(LITMUS_X, 1),
+                    store(LITMUS_D0, 1),
+                ],
+                vec![
+                    Poll {
+                        addr: WordAddr(LITMUS_D0),
+                        until: 1,
+                    },
+                    Run(Instr::Delay(1500)),
+                    load(LITMUS_X),
+                ],
+            ],
+            // t1 warms x so its load can hit the stale cached copy while
+            // its y=2 sits in the write buffer; t2 reads the final
+            // coherence winner of y after both done flags.
+            LitmusTest::R => vec![
+                vec![
+                    Step::Jitter(250),
+                    store(LITMUS_X, 1),
+                    store(LITMUS_Y, 1),
+                    store(LITMUS_D0, 1),
+                ],
+                vec![
+                    load(LITMUS_X),
+                    Step::Jitter(150),
+                    store(LITMUS_Y, 2),
+                    load(LITMUS_X),
+                    store(LITMUS_D1, 1),
+                ],
+                vec![
+                    Poll {
+                        addr: WordAddr(LITMUS_D0),
+                        until: 1,
+                    },
+                    Poll {
+                        addr: WordAddr(LITMUS_D1),
+                        until: 1,
+                    },
+                    Run(Instr::Delay(1500)),
+                    load(LITMUS_Y),
+                ],
+            ],
+            // Both writers race their two-store sequences; t2 reads the
+            // final coherence winners of both variables. Each thread
+            // first takes exclusive ownership of its *second* variable
+            // (warm-up store, performed long before the race), so under
+            // relaxed Store→Store the second store can drain instantly
+            // while the first is still stealing its block — the
+            // interleaving that realizes the outcome.
+            LitmusTest::TwoPlusTwoW => vec![
+                vec![
+                    store(LITMUS_Y, 7),
+                    Step::Jitter(150),
+                    store(LITMUS_X, 1),
+                    store(LITMUS_Y, 2),
+                    store(LITMUS_D0, 1),
+                ],
+                vec![
+                    store(LITMUS_X, 8),
+                    Step::Jitter(150),
+                    store(LITMUS_Y, 1),
+                    store(LITMUS_X, 2),
+                    store(LITMUS_D1, 1),
+                ],
+                vec![
+                    Poll {
+                        addr: WordAddr(LITMUS_D0),
+                        until: 1,
+                    },
+                    Poll {
+                        addr: WordAddr(LITMUS_D1),
+                        until: 1,
+                    },
+                    Run(Instr::Delay(1500)),
+                    load(LITMUS_X),
+                    load(LITMUS_Y),
+                ],
+            ],
+            // The membar pins the done flag after both x-stores under
+            // every model (the property under test is the per-location
+            // x=1/x=2 order, which the fence does not touch), so the
+            // observer's read is guaranteed to see the settled winner.
+            LitmusTest::CoWw => vec![
+                vec![
+                    Step::Jitter(100),
+                    store(LITMUS_X, 1),
+                    store(LITMUS_X, 2),
+                    Run(Instr::membar(MembarMask::ALL)),
+                    store(LITMUS_D0, 1),
+                ],
+                vec![
+                    Poll {
+                        addr: WordAddr(LITMUS_D0),
+                        until: 1,
+                    },
+                    Run(Instr::Delay(1500)),
+                    load(LITMUS_X),
+                ],
+            ],
+            LitmusTest::CoRw1 => vec![vec![Step::Jitter(50), load(LITMUS_X), store(LITMUS_X, 1)]],
         }
     }
 
@@ -234,6 +393,23 @@ impl LitmusTest {
                 }
                 false
             }
+            // The observer read x after t1's x=1 was globally visible
+            // (done-flag chain); 2 final means x=1 lost the race.
+            LitmusTest::S => last(2) == 2,
+            // t1 missed x=1 while its y=2 won the coherence race.
+            LitmusTest::R => last(1) == 0 && last(2) == 2,
+            // Both observer reads (x then y, the last two committed
+            // loads) saw the threads' *first* stores win.
+            LitmusTest::TwoPlusTwoW => {
+                let l = &loads[2];
+                l.len() >= 2 && l[l.len() - 2] == 1 && l[l.len() - 1] == 1
+            }
+            // Both x-stores performed before the observer read (membar +
+            // done flag); anything but 2 means the younger store lost.
+            LitmusTest::CoWw => last(1) != 2,
+            // The lone load can only return 1 by observing its own
+            // program-order-later store.
+            LitmusTest::CoRw1 => last(0) == 1,
         }
     }
 }
@@ -406,6 +582,26 @@ mod tests {
         for m in Model::ALL {
             assert!(LitmusTest::Corr.forbidden(m));
         }
+        // S: needs Store→Store and Load→Store — SC and TSO.
+        assert!(LitmusTest::S.forbidden(Sc));
+        assert!(LitmusTest::S.forbidden(Tso));
+        assert!(!LitmusTest::S.forbidden(Pso));
+        assert!(!LitmusTest::S.forbidden(Rmo));
+        // R: needs Store→Store and Store→Load — SC only.
+        assert!(LitmusTest::R.forbidden(Sc));
+        for m in [Tso, Pso, Rmo] {
+            assert!(!LitmusTest::R.forbidden(m));
+        }
+        // 2+2W: needs Store→Store — SC and TSO.
+        assert!(LitmusTest::TwoPlusTwoW.forbidden(Sc));
+        assert!(LitmusTest::TwoPlusTwoW.forbidden(Tso));
+        assert!(!LitmusTest::TwoPlusTwoW.forbidden(Pso));
+        assert!(!LitmusTest::TwoPlusTwoW.forbidden(Rmo));
+        // Per-location shapes: forbidden everywhere.
+        for m in Model::ALL {
+            assert!(LitmusTest::CoWw.forbidden(m));
+            assert!(LitmusTest::CoRw1.forbidden(m));
+        }
     }
 
     #[test]
@@ -484,6 +680,22 @@ mod tests {
         // CoRR: non-monotone read sequence.
         assert!(LitmusTest::Corr.relaxed_observed(&[vec![], vec![0, 2, 1, 4]]));
         assert!(!LitmusTest::Corr.relaxed_observed(&[vec![], vec![0, 2, 2, 4]]));
+        // S: the observer's final x is 2 (t1's store lost).
+        assert!(LitmusTest::S.relaxed_observed(&[vec![], vec![0, 1], vec![0, 1, 2]]));
+        assert!(!LitmusTest::S.relaxed_observed(&[vec![], vec![1], vec![1, 1]]));
+        // R: t1 missed x while its y won.
+        assert!(LitmusTest::R.relaxed_observed(&[vec![], vec![0, 0], vec![1, 1, 2]]));
+        assert!(!LitmusTest::R.relaxed_observed(&[vec![], vec![0, 1], vec![1, 1, 2]]));
+        assert!(!LitmusTest::R.relaxed_observed(&[vec![], vec![0, 0], vec![1, 1, 1]]));
+        // 2+2W: both first stores won (observer reads x then y last).
+        assert!(LitmusTest::TwoPlusTwoW.relaxed_observed(&[vec![], vec![], vec![1, 1, 1, 1]]));
+        assert!(!LitmusTest::TwoPlusTwoW.relaxed_observed(&[vec![], vec![], vec![1, 1, 2, 1]]));
+        // CoWW: the observer must see the younger store's value.
+        assert!(LitmusTest::CoWw.relaxed_observed(&[vec![], vec![0, 1, 1]]));
+        assert!(!LitmusTest::CoWw.relaxed_observed(&[vec![], vec![0, 1, 2]]));
+        // CoRW1: the load saw its own future store.
+        assert!(LitmusTest::CoRw1.relaxed_observed(&[vec![1]]));
+        assert!(!LitmusTest::CoRw1.relaxed_observed(&[vec![0]]));
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub enum WorkloadKind {
     /// [`WorkloadKind::ALL`] — litmus runs are correctness probes, not
     /// benchmarks).
     Litmus(LitmusTest),
+    /// A generated litmus-like program (`crate::fuzz`), identified by its
+    /// generation seed; the program also depends on the run's consistency
+    /// model (barrier vocabulary). Like `Litmus`, a correctness probe —
+    /// not part of [`WorkloadKind::ALL`].
+    Fuzz(u64),
 }
 
 impl WorkloadKind {
@@ -51,6 +56,12 @@ impl WorkloadKind {
             WorkloadKind::Litmus(LitmusTest::Wrc) => "litmus-wrc",
             WorkloadKind::Litmus(LitmusTest::Iriw) => "litmus-iriw",
             WorkloadKind::Litmus(LitmusTest::Corr) => "litmus-corr",
+            WorkloadKind::Litmus(LitmusTest::S) => "litmus-s",
+            WorkloadKind::Litmus(LitmusTest::R) => "litmus-r",
+            WorkloadKind::Litmus(LitmusTest::TwoPlusTwoW) => "litmus-2+2w",
+            WorkloadKind::Litmus(LitmusTest::CoWw) => "litmus-coww",
+            WorkloadKind::Litmus(LitmusTest::CoRw1) => "litmus-corw1",
+            WorkloadKind::Fuzz(_) => "fuzz",
         }
     }
 }
@@ -104,6 +115,9 @@ impl Profile {
         match kind {
             WorkloadKind::Litmus(t) => {
                 panic!("litmus workload {t} has no transaction profile")
+            }
+            WorkloadKind::Fuzz(seed) => {
+                panic!("fuzz workload (seed {seed:#x}) has no transaction profile")
             }
             WorkloadKind::Apache => Profile {
                 locks_per_thread: 4,
@@ -227,6 +241,14 @@ pub fn layout_of(params: &WorkloadParams) -> Layout {
 pub fn build_streams(params: &WorkloadParams) -> Vec<Box<dyn InstrStream + Send>> {
     if let WorkloadKind::Litmus(test) = params.kind {
         return crate::litmus::build_litmus_streams(test, params.threads, params.perturbation);
+    }
+    if let WorkloadKind::Fuzz(seed) = params.kind {
+        return crate::fuzz::build_fuzz_streams(
+            seed,
+            params.model,
+            params.threads,
+            params.perturbation,
+        );
     }
     let profile = Profile::of(params.kind);
     let layout = layout_of(params);

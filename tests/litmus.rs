@@ -1,11 +1,14 @@
-//! Litmus-test conformance suite: runs the classic SB/Dekker, MP, LB,
-//! WRC, IRIW, and CoRR shapes on the full simulated machine — both
-//! coherence protocols, all four consistency models — and checks the
-//! *dynamic* verdicts against the ordering tables' ground truth:
+//! Litmus-test conformance suite: runs the classic shapes (SB/Dekker,
+//! MP, LB, WRC, IRIW, CoRR, S, R, 2+2W, CoWW, CoRW1) on the full
+//! simulated machine — both coherence protocols, all four consistency
+//! models — and checks the *dynamic* verdicts against the ordering
+//! tables' ground truth:
 //!
-//! * an outcome the model's table **forbids** is never observed, and
+//! * an outcome the model's table **forbids** is never observed,
 //! * DVMC raises **no violation** on error-free runs, whatever outcomes
-//!   the model allows (no false positives).
+//!   the model allows (no false positives), and
+//! * the offline consistency oracle (`dvmc_consistency::oracle`) agrees:
+//!   every execution the online checkers pass is `Allowed` offline.
 //!
 //! Each (test, model, protocol) combination runs under several
 //! perturbation seeds; the program is fixed and only timing varies, so
@@ -48,13 +51,19 @@ fn run_one(test: LitmusTest, model: Model, protocol: Protocol, seed: u64) -> boo
         "{label}: DVMC raised a false violation on an error-free run: {:?}",
         report.violations
     );
-    let loads: Vec<Vec<u64>> = sys
-        .commit_logs()
+    let logs = sys.commit_logs();
+    let verdict = dvmc_consistency::verify_model(model, &logs);
+    assert!(
+        verdict.is_allowed(),
+        "{label}: offline oracle rejected an execution the online \
+         checkers passed: {verdict:?}"
+    );
+    let loads: Vec<Vec<u64>> = logs
         .into_iter()
         .map(|log| {
             log.into_iter()
-                .filter(|(_, class, _)| *class == OpClass::Load)
-                .map(|(_, _, value)| value)
+                .filter(|r| r.class == OpClass::Load)
+                .map(|r| r.value)
                 .collect()
         })
         .collect();
@@ -162,13 +171,23 @@ fn litmus_conformance_survives_recovery() {
                         recovered_runs += 1;
                     }
                     total_runs += 1;
-                    let loads: Vec<Vec<u64>> = sys
-                        .commit_logs()
+                    let logs = sys.commit_logs();
+                    // The commit log reflects the final (replayed)
+                    // execution — rollback restores the log to the
+                    // checkpoint's prefix — so the offline oracle must
+                    // accept recovered runs too.
+                    let verdict = dvmc_consistency::verify_model(model, &logs);
+                    assert!(
+                        verdict.is_allowed(),
+                        "{label}: offline oracle rejected a recovered \
+                         execution: {verdict:?}"
+                    );
+                    let loads: Vec<Vec<u64>> = logs
                         .into_iter()
                         .map(|log| {
                             log.into_iter()
-                                .filter(|(_, class, _)| *class == OpClass::Load)
-                                .map(|(_, _, value)| value)
+                                .filter(|r| r.class == OpClass::Load)
+                                .map(|r| r.value)
                                 .collect()
                         })
                         .collect();
@@ -211,5 +230,25 @@ fn litmus_sb_relaxation_is_observable_under_tso() {
         observed > 0,
         "SB under TSO never showed (0,0) in 32 trials: the harness \
          cannot observe store-to-load relaxation"
+    );
+}
+
+/// Same anti-vacuity check for the new coherence-order shapes: PSO's
+/// out-of-order write-buffer drains make 2+2W's relaxed outcome (both
+/// threads' *first* stores winning the coherence races) reachable, and
+/// the done-flag observer must be able to see it.
+#[test]
+fn litmus_2p2w_relaxation_is_observable_under_pso() {
+    let mut observed = 0u64;
+    for trial in 0..32 {
+        let seed = dvmc_types::rng::derive_seed(0x0222, trial);
+        if run_one(LitmusTest::TwoPlusTwoW, Model::Pso, Protocol::Directory, seed) {
+            observed += 1;
+        }
+    }
+    assert!(
+        observed > 0,
+        "2+2W under PSO never showed (x,y)=(1,1) in 32 trials: the \
+         observer cannot see store-to-store relaxation"
     );
 }
