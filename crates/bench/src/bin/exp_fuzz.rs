@@ -33,7 +33,7 @@ use dvmc_sim::{Protocol, RecoveryPolicy, RunReport, SystemBuilder, SystemConfig}
 use dvmc_types::rng::derive_seed;
 use dvmc_types::NodeId;
 use dvmc_workloads::spec::WorkloadKind;
-use dvmc_workloads::{generate_fuzz_program, FuzzProgram};
+use dvmc_workloads::{generate_fuzz_program, generate_fuzz_program_with, AddrMix, FuzzProgram};
 
 const MAX_CYCLES: u64 = 2_000_000;
 
@@ -58,12 +58,16 @@ fn cell(
     program_seed: u64,
     faulted: bool,
 ) -> SystemConfig {
+    let kind = match program.mix {
+        AddrMix::Disjoint => WorkloadKind::Fuzz(program_seed),
+        AddrMix::Mixed => WorkloadKind::FuzzMixed(program_seed),
+    };
     let mut b = SystemBuilder::new()
         .nodes(program.threads())
         .model(machine_model)
         .protocol(protocol)
         .dvmc(true)
-        .workload(WorkloadKind::Fuzz(program_seed), 1)
+        .workload(kind, 1)
         .seed(derive_seed(program_seed, 1))
         .perturbation(derive_seed(program_seed, 2))
         .record_commits(true)
@@ -123,9 +127,14 @@ fn main() {
     let mut programs: u64 = 64;
     let mut out = String::from("results/BENCH_fuzz.json");
     let mut mutant: Option<String> = None;
+    let mut mixed = false;
     let opts = ExpOpts::from_args_with(|key, value| match key {
         "--programs" => {
             programs = value.parse().expect("--programs=N");
+            true
+        }
+        "--mixed" => {
+            mixed = value.is_empty() || value.parse().expect("--mixed[=bool]");
             true
         }
         "--out" => {
@@ -145,8 +154,10 @@ fn main() {
         return;
     }
 
+    let mix = if mixed { AddrMix::Mixed } else { AddrMix::Disjoint };
     println!(
-        "fuzz cross-check: {} models × 2 protocols × {programs} programs = {} runs, {} jobs",
+        "fuzz cross-check ({mix:?} pool): {} models × 2 protocols × {programs} programs = {} \
+         runs, {} jobs",
         Model::EVALUATED.len(),
         Model::EVALUATED.len() as u64 * 2 * programs,
         opts.jobs
@@ -162,9 +173,10 @@ fn main() {
             for p in 0..programs {
                 let program_seed =
                     derive_seed(derive_seed(opts.seed, (mi * 2 + pi) as u64), p);
-                let program = generate_fuzz_program(program_seed, model);
+                let program = generate_fuzz_program_with(program_seed, model, mix);
                 let faulted = p % 8 == 3;
-                let tag = format!("fuzz/{model}/{protocol:?}/{p}");
+                let arm = if mixed { "fuzz-mixed" } else { "fuzz" };
+                let tag = format!("{arm}/{model}/{protocol:?}/{p}");
                 campaign.push(
                     tag.clone(),
                     p as u32,
@@ -257,7 +269,7 @@ fn main() {
 
     let json = format!(
         "{{\"schema\":\"dvmc-fuzz/v1\",\"programs\":{programs},\"seed\":{},\
-         \"disagreements\":{},\"cells\":[{cells_json}]}}\n",
+         \"mixed\":{mixed},\"disagreements\":{},\"cells\":[{cells_json}]}}\n",
         opts.seed,
         disagreements.len(),
     );

@@ -21,9 +21,11 @@
 
 pub mod campaign;
 pub mod pool;
+pub mod soak;
 
 pub use campaign::{Campaign, CampaignResult, Cell, CellOutcome};
 pub use pool::parallel_map_indexed;
+pub use soak::{run_soak, SoakOutcome, SoakSpec};
 
 use dvmc_sim::{mean_std, Protection, Protocol, RunReport, System, SystemBuilder, SystemConfig};
 use dvmc_workloads::spec::WorkloadKind;

@@ -256,6 +256,26 @@ impl<S> SafetyNet<S> {
             .saturating_mul(factor.max(2));
     }
 
+    /// Restores the checkpoint interval to `interval` — de-escalation
+    /// after a recovered episode in service mode: the widened cadence a
+    /// persistent-looking error forced should not be paid forever once
+    /// the machine is demonstrably healthy again. Narrowing only (the
+    /// complement of [`widen_interval`](Self::widen_interval)); a value
+    /// at or above the current interval, or one that would invalidate
+    /// the configuration, is ignored.
+    pub fn narrow_interval(&mut self, interval: u64) {
+        if interval >= self.cfg.checkpoint_interval {
+            return;
+        }
+        let narrowed = SafetyNetConfig {
+            checkpoint_interval: interval,
+            ..self.cfg
+        };
+        if narrowed.validate().is_ok() {
+            self.cfg.checkpoint_interval = interval;
+        }
+    }
+
     /// Checkpoints created so far.
     pub fn checkpoints_taken(&self) -> u64 {
         self.taken
@@ -446,6 +466,24 @@ mod tests {
             events += sn.tick(now);
         }
         assert_eq!(events, 3, "wider cadence: 400, 800, 1200");
+    }
+
+    #[test]
+    fn narrow_interval_deescalates_but_never_invalidates() {
+        let mut sn = net();
+        sn.widen_interval(4);
+        assert_eq!(sn.config().checkpoint_interval, 400);
+        sn.narrow_interval(100);
+        assert_eq!(sn.config().checkpoint_interval, 100);
+        // Never widens, never accepts zero, never breaks the
+        // validation-latency invariant (150 < interval * 4 requires
+        // interval > 37).
+        sn.narrow_interval(500);
+        assert_eq!(sn.config().checkpoint_interval, 100);
+        sn.narrow_interval(0);
+        assert_eq!(sn.config().checkpoint_interval, 100);
+        sn.narrow_interval(30);
+        assert_eq!(sn.config().checkpoint_interval, 100, "window must stay validatable");
     }
 
     #[test]

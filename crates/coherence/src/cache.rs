@@ -124,6 +124,26 @@ impl<S> CacheArray<S> {
     ///
     /// Panics if a line for `addr` is already present (protocol bug).
     pub fn insert(&mut self, addr: BlockAddr, data: Block, state: S) -> Option<Line<S>> {
+        self.insert_pinned(addr, data, state, |_| false)
+    }
+
+    /// Like [`CacheArray::insert`], but victim selection skips lines for
+    /// which `pinned` returns true. A line with an in-flight transaction
+    /// (e.g. an upgrade whose request is already on the network) must not
+    /// be victimized: the eviction's writeback races the transaction's
+    /// grant and strands both state machines. Falls back to plain LRU if
+    /// every occupied way in the set is pinned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a line for `addr` is already present (protocol bug).
+    pub fn insert_pinned(
+        &mut self,
+        addr: BlockAddr,
+        data: Block,
+        state: S,
+        pinned: impl Fn(BlockAddr) -> bool,
+    ) -> Option<Line<S>> {
         assert!(
             self.peek(addr).is_none(),
             "insert of already-present line {addr}"
@@ -143,10 +163,20 @@ impl<S> CacheArray<S> {
             *slot = Some(new_line);
             return None;
         }
-        // Evict the least recently used way.
+        // Evict the least recently used unpinned way.
         let victim_idx = range
             .clone()
+            .filter(|&i| {
+                self.lines[i]
+                    .as_ref()
+                    .is_some_and(|l| !pinned(l.addr))
+            })
             .min_by_key(|&i| self.lines[i].as_ref().map_or(0, |l| l.last_used))
+            .or_else(|| {
+                range
+                    .clone()
+                    .min_by_key(|&i| self.lines[i].as_ref().map_or(0, |l| l.last_used))
+            })
             .expect("non-empty set range");
         self.lines[victim_idx].replace(new_line)
     }

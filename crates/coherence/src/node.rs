@@ -933,7 +933,21 @@ impl CacheNode {
             self.complete_waiters(block);
             return;
         }
-        if let Some(victim) = self.l2.insert(block, data, state) {
+        // Lines with in-flight transactions of their own are pinned: if an
+        // upgrade's line were victimized here, the writeback would race
+        // the already-issued GetM (home grants an UpgradeAck the node can
+        // no longer apply — deadlock in the directory protocol, an
+        // orphaned open epoch in snooping).
+        let pinned: Vec<BlockAddr> = self
+            .mshrs
+            .iter()
+            .filter(|(a, _)| **a != block)
+            .map(|(a, _)| *a)
+            .collect();
+        if let Some(victim) = self
+            .l2
+            .insert_pinned(block, data, state, |a| pinned.contains(&a))
+        {
             self.handle_victim(victim);
         }
         let obligations = match self.protocol {
@@ -1108,6 +1122,12 @@ impl CacheNode {
     fn handle_victim(&mut self, victim: Line<Mosi>) {
         let block = victim.addr;
         self.l1.remove(block);
+        // Once the block leaves the L2 the core stops observing remote
+        // writes to it (later invalidations find nothing to remove, and a
+        // recall served from the evict buffer bypasses the cache): report
+        // the eviction like an invalidation so executed-but-unreplayed
+        // loads get their §4.1 remote-write mark.
+        self.invalidated.push(block);
         if self.cfg.verify && !victim.ecc_ok() {
             self.violations.push(
                 CoherenceViolation::EccMismatch {
@@ -1362,6 +1382,27 @@ impl CacheNode {
                     self.end_epoch(block, hash);
                     self.begin_epoch(block, EpochKind::ReadWrite, Some(hash));
                     self.complete_waiters(block);
+                } else if let Some(buf) = self.evicting.remove(&block) {
+                    // Our upgrade was ordered while our own writeback of
+                    // this block still awaited its ordering point (the
+                    // request was issued before the eviction, so the
+                    // writeback deferral in `issue_request` could not
+                    // catch it). We are still the owner: nobody else will
+                    // supply data, so waiting deadlocks, and the old
+                    // epoch would stay open past the upgrade. Reclaim the
+                    // buffer, cancel the writeback (the stale PutM
+                    // observation finds no buffer and is a no-op), and
+                    // upgrade in place.
+                    let order = self.last_order;
+                    if let Some(m) = self.mshrs.get_mut(&block) {
+                        m.observed = true;
+                        m.order = order;
+                        m.stashed = None;
+                    }
+                    let hash = buf.data.hash();
+                    self.end_epoch(block, hash);
+                    self.begin_epoch(block, EpochKind::ReadWrite, Some(hash));
+                    self.fill(block, buf.data, Mosi::M, order);
                 } else {
                     let order = self.last_order;
                     let stashed = match self.mshrs.get_mut(&block) {
@@ -1439,8 +1480,19 @@ impl CacheNode {
                     }
                 } else if let Some(buf) = self.evicting.get_mut(&block) {
                     if buf.state.dirty() {
+                        let was_m = buf.state == Mosi::M;
                         buf.state = Mosi::O;
                         let data = buf.data;
+                        // The reader's epoch begins at this GetS's ordering
+                        // point, so the writeback buffer's Read-Write epoch
+                        // must close here too — deferring the close to our
+                        // own PutM observation stamps it after the reader's
+                        // start and the MET flags a spurious overlap.
+                        if was_m {
+                            let hash = data.hash();
+                            self.end_epoch(block, hash);
+                            self.begin_epoch(block, EpochKind::ReadOnly, Some(hash));
+                        }
                         let order = self.last_order;
                         self.msg_out.push_back(Outbound {
                             dst: req.req,

@@ -118,6 +118,21 @@ impl EpochMessage {
         }
     }
 
+    /// Rank for messages whose sort times tie exactly. A `Closed` at time
+    /// T ends an epoch that began strictly earlier, so it causally
+    /// precedes any epoch *beginning* at T: with a slow logical clock a
+    /// permission handoff (close at T, successor opens at T) lands on one
+    /// tick, and processing the successor first makes the MET see a
+    /// still-open epoch and raise a spurious overlap. `Open`s sort after
+    /// `Inform`s, matching the open-epochs-last tie-break.
+    pub fn tiebreak_rank(&self) -> u8 {
+        match self {
+            EpochMessage::Closed(_) => 0,
+            EpochMessage::Inform(_) => 1,
+            EpochMessage::Open(_) => 2,
+        }
+    }
+
     /// The block the message concerns.
     pub fn addr(&self) -> BlockAddr {
         match self {

@@ -113,7 +113,11 @@ impl HomeChecker {
     ///
     /// # Errors
     ///
-    /// Propagates any violation found while processing displaced messages.
+    /// Propagates the first violation found while processing displaced
+    /// messages. Every displaced message is MET-checked even when an
+    /// earlier one errors — abandoning the tail of a release batch would
+    /// silently lose informs and cascade secondary violations (orphaned
+    /// opens, broken hash chains) on unrelated blocks.
     pub fn push(&mut self, msg: EpochMessage) -> Result<(), Violation> {
         if self.obs.is_some() {
             let addr = msg.addr();
@@ -127,10 +131,8 @@ impl HomeChecker {
             let queued = (self.sorter.len() + 1) as u32;
             self.note(CheckerEvent::InformEnqueue { addr, queued });
         }
-        for ready in self.sorter.push(msg) {
-            self.process_ready(&ready)?;
-        }
-        Ok(())
+        let ready = self.sorter.push(msg);
+        self.process_batch(ready)
     }
 
     /// Processes all queued messages whose timestamp is earlier than
@@ -138,24 +140,36 @@ impl HomeChecker {
     ///
     /// # Errors
     ///
-    /// Returns the first violation detected.
+    /// Returns the first violation detected; later messages in the batch
+    /// are still processed.
     pub fn drain_older_than(&mut self, watermark: Ts16) -> Result<(), Violation> {
-        for ready in self.sorter.drain_older_than(watermark) {
-            self.process_ready(&ready)?;
-        }
-        Ok(())
+        let ready = self.sorter.drain_older_than(watermark);
+        self.process_batch(ready)
     }
 
     /// Processes every queued message (end of run).
     ///
     /// # Errors
     ///
-    /// Returns the first violation detected.
+    /// Returns the first violation detected; later messages in the batch
+    /// are still processed.
     pub fn flush(&mut self) -> Result<(), Violation> {
-        for ready in self.sorter.flush() {
-            self.process_ready(&ready)?;
+        let ready = self.sorter.flush();
+        self.process_batch(ready)
+    }
+
+    /// MET-checks a released batch in full, reporting the first violation.
+    fn process_batch(&mut self, ready: Vec<EpochMessage>) -> Result<(), Violation> {
+        let mut first = None;
+        for msg in &ready {
+            if let Err(v) = self.process_ready(msg) {
+                first.get_or_insert(v);
+            }
         }
-        Ok(())
+        match first {
+            Some(v) => Err(v),
+            None => Ok(()),
+        }
     }
 
     /// MET-checks one sorted message; every epoch message carries data

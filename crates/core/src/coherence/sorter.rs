@@ -106,14 +106,16 @@ impl EpochSorter {
         t.0.wrapping_sub(reference)
     }
 
-    /// Full ordering key: start time, then end time (ties on start are
-    /// resolved so shorter epochs process first; open epochs last).
-    fn key(&self, m: &EpochMessage) -> (u16, u32) {
+    /// Full ordering key: start time, then message rank (closes before
+    /// begins at the same tick — see [`EpochMessage::tiebreak_rank`]),
+    /// then end time (ties on start are resolved so shorter epochs
+    /// process first; open epochs last).
+    fn key(&self, m: &EpochMessage) -> (u16, u8, u32) {
         let secondary = match m.tiebreak_end() {
             Some(end) => self.distance(end) as u32,
             None => u32::MAX,
         };
-        (self.distance(m.sort_time()), secondary)
+        (self.distance(m.sort_time()), m.tiebreak_rank(), secondary)
     }
 
     fn peek_min_time(&self) -> Option<Ts16> {

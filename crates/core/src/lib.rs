@@ -44,7 +44,9 @@ pub use coherence::{
     CacheEpochTable, EpochKind, EpochMessage, EpochSorter, HomeChecker, InformEpoch,
     MemoryEpochTable,
 };
-pub use obs::{CheckerEvent, EventSink, ObsMetrics, ObsRing, TimedEvent, ViolationReport};
+pub use obs::{
+    CheckerEvent, EventSink, MetricsWindow, ObsMetrics, ObsRing, TimedEvent, ViolationReport,
+};
 pub use reorder::ReorderChecker;
 pub use trace::{TraceChecker, TraceEvent};
 pub use uniproc::{ReplayLookup, UniprocChecker, UniprocCheckerConfig, UniprocStats};

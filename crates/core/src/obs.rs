@@ -259,6 +259,49 @@ impl ObsMetrics {
     }
 }
 
+/// Turns cumulative [`ObsMetrics`] into per-window deltas for streaming
+/// snapshots (service mode emits one every window).
+///
+/// Counters live inside components that backward error recovery rolls
+/// back, so a window spanning a rollback can observe a *smaller*
+/// cumulative value than the last window did. Deltas therefore saturate
+/// at zero: a rollback window under-reports the replayed work rather
+/// than panicking or going negative. High-water marks pass through
+/// unchanged (they are instantaneous, not cumulative).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsWindow {
+    last: ObsMetrics,
+}
+
+impl MetricsWindow {
+    /// The counters accrued since the previous call (saturating across
+    /// rollbacks), given the current cumulative metrics.
+    pub fn delta(&mut self, current: &ObsMetrics) -> ObsMetrics {
+        let sub = |a: u64, b: u64| a.saturating_sub(b);
+        let d = ObsMetrics {
+            events: sub(current.events, self.last.events),
+            vc_allocs: sub(current.vc_allocs, self.last.vc_allocs),
+            vc_deallocs: sub(current.vc_deallocs, self.last.vc_deallocs),
+            replay_vc_hits: sub(current.replay_vc_hits, self.last.replay_vc_hits),
+            replay_cache_reads: sub(current.replay_cache_reads, self.last.replay_cache_reads),
+            max_op_updates: sub(current.max_op_updates, self.last.max_op_updates),
+            membar_checks: sub(current.membar_checks, self.last.membar_checks),
+            epoch_opens: sub(current.epoch_opens, self.last.epoch_opens),
+            epoch_closes: sub(current.epoch_closes, self.last.epoch_closes),
+            scrubs: sub(current.scrubs, self.last.scrubs),
+            informs_enqueued: sub(current.informs_enqueued, self.last.informs_enqueued),
+            informs_reordered: sub(current.informs_reordered, self.last.informs_reordered),
+            crc_checks: sub(current.crc_checks, self.last.crc_checks),
+            sorter_occupancy_hwm: current.sorter_occupancy_hwm,
+            recoveries_started: sub(current.recoveries_started, self.last.recoveries_started),
+            recoveries_completed: sub(current.recoveries_completed, self.last.recoveries_completed),
+            recovery_escalations: sub(current.recovery_escalations, self.last.recovery_escalations),
+        };
+        self.last = *current;
+        d
+    }
+}
+
 /// A consumer of checker events.
 ///
 /// The shipped implementation is [`ObsRing`]; the trait exists so traces
@@ -438,6 +481,37 @@ mod tests {
         assert_eq!(a.events, 5);
         assert_eq!(a.crc_checks, 5);
         assert_eq!(a.sorter_occupancy_hwm, 5);
+    }
+
+    #[test]
+    fn metrics_window_deltas_saturate_across_rollbacks() {
+        let mut w = MetricsWindow::default();
+        let first = ObsMetrics {
+            events: 10,
+            crc_checks: 7,
+            sorter_occupancy_hwm: 4,
+            ..ObsMetrics::default()
+        };
+        let d1 = w.delta(&first);
+        assert_eq!(d1.events, 10);
+        assert_eq!(d1.crc_checks, 7);
+        // A rollback rewound the counters below the previous watermark:
+        // the delta saturates at zero instead of underflowing.
+        let rewound = ObsMetrics {
+            events: 6,
+            crc_checks: 9,
+            sorter_occupancy_hwm: 2,
+            ..ObsMetrics::default()
+        };
+        let d2 = w.delta(&rewound);
+        assert_eq!(d2.events, 0);
+        assert_eq!(d2.crc_checks, 2);
+        assert_eq!(d2.sorter_occupancy_hwm, 2, "hwm passes through");
+        let d3 = w.delta(&ObsMetrics {
+            events: 8,
+            ..rewound
+        });
+        assert_eq!(d3.events, 2, "counting resumes from the rewound base");
     }
 
     #[test]

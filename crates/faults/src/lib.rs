@@ -220,6 +220,101 @@ pub fn random_plan(rng: &mut DetRng, nodes: usize, warmup: Cycle, horizon: Cycle
     FaultPlan { at_cycle, fault }
 }
 
+/// Shape of a fault *storm*: bursts of faults arriving throughout a soak
+/// run, rather than §6.1's single fault per trial (DESIGN.md §13).
+///
+/// Bursts arrive as a Poisson process (exponential gaps of the given
+/// mean); each burst injects several faults within a short spread, so
+/// that transients genuinely *overlap* — a second fault lands while the
+/// first is still latent or mid-recovery. Optionally every Nth burst
+/// carries a persistent [`Fault::CacheStuckBit`], driving the retry /
+/// backoff / escalation path.
+#[derive(Clone, Copy, Debug)]
+pub struct StormConfig {
+    /// Mean gap between bursts, in cycles.
+    pub mean_gap: Cycle,
+    /// Faults per burst (inclusive range).
+    pub burst: (u32, u32),
+    /// Burst members land within `[0, burst_spread]` cycles of the burst
+    /// start — the overlap window.
+    pub burst_spread: Cycle,
+    /// Every Nth burst also carries a persistent cache-stuck-bit fault
+    /// (`0` = transients only, the §6.1 soft-error regime).
+    pub persistent_every: u32,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            mean_gap: 400_000,
+            burst: (1, 3),
+            burst_spread: 2_000,
+            persistent_every: 0,
+        }
+    }
+}
+
+/// Draws a full storm schedule over `(warmup, horizon)`: burst times from
+/// exponential gaps, each burst's members from [`random_plan`]'s transient
+/// vocabulary at offsets within the configured spread. The result is
+/// sorted by injection time. Deterministic in `rng`.
+pub fn storm_plan(
+    rng: &mut DetRng,
+    nodes: usize,
+    warmup: Cycle,
+    horizon: Cycle,
+    cfg: &StormConfig,
+) -> Vec<FaultPlan> {
+    assert!(horizon > warmup, "storm horizon must follow warmup");
+    let mut plans = Vec::new();
+    let mut t = warmup;
+    let mut bursts = 0u32;
+    loop {
+        // Top 53 bits → uniform [0,1) (the vendored `rand` only samples
+        // integer ranges); inverse-CDF exponential gap.
+        let u = (rng.gen::<u64>() >> 11) as f64 / (1u64 << 53) as f64;
+        let gap = ((-(1.0 - u).ln() * cfg.mean_gap as f64) as Cycle).max(1);
+        t += gap;
+        if t >= horizon {
+            break;
+        }
+        bursts += 1;
+        let members = if cfg.burst.1 <= cfg.burst.0 {
+            cfg.burst.0
+        } else {
+            rng.gen_range(cfg.burst.0..=cfg.burst.1)
+        };
+        for _ in 0..members {
+            let at = t + rng.gen_range(0..=cfg.burst_spread);
+            // random_plan with a one-cycle window pins the time; the
+            // fault type and location draws are what we want from it.
+            plans.push(random_plan(rng, nodes, at, at + 1));
+        }
+        if cfg.persistent_every > 0 && bursts.is_multiple_of(cfg.persistent_every) {
+            let node = NodeId(rng.gen_range(0..nodes) as u8);
+            plans.push(FaultPlan {
+                at_cycle: t,
+                fault: Fault::CacheStuckBit { node },
+            });
+        }
+    }
+    plans.sort_by_key(|p| p.at_cycle);
+    plans
+}
+
+/// Counts plan pairs scheduled within `window` cycles of each other — the
+/// storm's overlap pressure (how often a fault lands while another is
+/// still latent or being recovered).
+pub fn overlapping_pairs(plans: &[FaultPlan], window: Cycle) -> usize {
+    let mut times: Vec<Cycle> = plans.iter().map(|p| p.at_cycle).collect();
+    times.sort_unstable();
+    let mut pairs = 0;
+    for (i, &a) in times.iter().enumerate() {
+        pairs += times[i + 1..].iter().take_while(|&&b| b - a <= window).count();
+    }
+    pairs
+}
+
 /// One fault of every category (for coverage sweeps), transient and
 /// persistent alike.
 pub fn all_faults(node: NodeId, other: NodeId) -> Vec<Fault> {
@@ -358,6 +453,54 @@ mod tests {
             );
         }
         assert_eq!(table.len(), variants.len(), "one sweep entry per variant");
+    }
+
+    #[test]
+    fn storm_plans_are_sorted_deterministic_and_bursty() {
+        let cfg = StormConfig {
+            mean_gap: 10_000,
+            burst: (2, 4),
+            burst_spread: 500,
+            persistent_every: 0,
+        };
+        let mut a = det_rng(9);
+        let mut b = det_rng(9);
+        let plan_a = storm_plan(&mut a, 8, 1_000, 500_000, &cfg);
+        let plan_b = storm_plan(&mut b, 8, 1_000, 500_000, &cfg);
+        assert_eq!(plan_a, plan_b);
+        assert!(plan_a.len() > 20, "expected a real storm, got {}", plan_a.len());
+        assert!(plan_a.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle));
+        assert!(plan_a.iter().all(|p| p.fault.is_transient()));
+        assert!(plan_a.iter().all(|p| (1_000..501_000).contains(&p.at_cycle)));
+        // Burst members land within the spread of each other, so the
+        // storm must show far more overlap than a uniform scatter would.
+        assert!(overlapping_pairs(&plan_a, cfg.burst_spread) > plan_a.len() / 4);
+    }
+
+    #[test]
+    fn storms_can_carry_persistent_episodes() {
+        let cfg = StormConfig {
+            mean_gap: 20_000,
+            burst: (1, 2),
+            burst_spread: 1_000,
+            persistent_every: 3,
+        };
+        let mut rng = det_rng(4);
+        let plan = storm_plan(&mut rng, 4, 0, 600_000, &cfg);
+        let stuck = plan.iter().filter(|p| !p.fault.is_transient()).count();
+        assert!(stuck >= 2, "every 3rd burst must carry a stuck bit");
+    }
+
+    #[test]
+    fn overlap_counting_uses_the_window() {
+        let f = Fault::DropMessage;
+        let plans: Vec<FaultPlan> = [0u64, 50, 60, 1_000]
+            .iter()
+            .map(|&t| FaultPlan { at_cycle: t, fault: f })
+            .collect();
+        assert_eq!(overlapping_pairs(&plans, 100), 3); // (0,50) (0,60) (50,60)
+        assert_eq!(overlapping_pairs(&plans, 10), 1); // (50,60)
+        assert_eq!(overlapping_pairs(&plans, 2_000), 6);
     }
 
     /// Recovery's retry policy keys off [`Fault::is_transient`]; a new

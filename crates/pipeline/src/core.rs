@@ -203,6 +203,9 @@ pub struct Core {
     lsq_fault_armed: bool,
     stream_done: bool,
     now: Cycle,
+    /// A requested consistency-model switch, applied at the next quiescent
+    /// point (service mode switches models mid-run; see DESIGN.md §13).
+    pending_model: Option<Model>,
 }
 
 impl Core {
@@ -237,8 +240,42 @@ impl Core {
             lsq_fault_armed: false,
             stream_done: false,
             now: 0,
+            pending_model: None,
             cfg,
         }
+    }
+
+    /// The consistency model the core currently enforces.
+    pub fn model(&self) -> Model {
+        self.cfg.model
+    }
+
+    /// Requests a switch to `model`, applied at the next cycle where the
+    /// ROB, write buffer, and outstanding-request table are all empty. At
+    /// that point every prior operation has committed, performed, and been
+    /// verified, so the checkers' ordering tables carry no cross-model
+    /// state. The one construction-time binding that does NOT follow the
+    /// switch is the VC's load-value caching (`cache_load_values`), fixed
+    /// at build from the initial model (§4.1 RMO optimization): switching
+    /// into RMO later runs without the optimization, which is
+    /// conservative, never unsound.
+    pub fn request_model_switch(&mut self, model: Model) {
+        if model == self.cfg.model && self.pending_model.is_none() {
+            return;
+        }
+        self.pending_model = Some(model);
+    }
+
+    fn apply_pending_model(&mut self) {
+        let Some(model) = self.pending_model else {
+            return;
+        };
+        if !(self.rob.is_empty() && self.wb.is_empty() && self.pending.is_empty()) {
+            return;
+        }
+        self.pending_model = None;
+        self.cfg.model = model;
+        self.stream.switch_model(model);
     }
 
     /// Takes the committed-operation log (requires
@@ -505,6 +542,7 @@ impl Core {
         if let Some(o) = self.reorder.as_mut().and_then(ReorderChecker::obs_mut) {
             o.set_now(now);
         }
+        self.apply_pending_model();
         self.retire();
         self.drain_wb();
         self.commit();
@@ -525,7 +563,7 @@ impl Core {
             if self.stream_done || self.awaiting.is_some() || self.rob.len() >= self.cfg.rob_size {
                 break;
             }
-            match self.stream.next() {
+            match self.stream.next_at(self.now) {
                 Fetch::Instr(Instr::Delay(d)) => {
                     self.decode_delay = d;
                     break;
@@ -675,17 +713,35 @@ impl Core {
             (e.seq, e.addr, e.gen)
         };
         // LSQ forwarding: youngest older store/atomic to the same word.
-        let forwarded = self.rob.iter().take(idx).rev().find_map(|e| {
-            (e.class.writes() && e.addr == addr).then_some(e.store_value)
+        // A write that has already performed no longer forwards — its
+        // value drained to the coherent cache, which a remote writer may
+        // since have overwritten, and the load would carry the stale
+        // value with no invalidation left to set its
+        // `remote_write_observed` mark (the §4.1 forgiveness window opens
+        // at execution). Once performed, the cache is the authority.
+        let lsq = self.rob.iter().take(idx).rev().find_map(|e| {
+            let perform_in_flight = e.retire_issued
+                || (e.class == OpClass::Atomic && e.state == EState::Issued);
+            (e.class.writes() && e.addr == addr)
+                .then_some((e.store_value, e.performed, perform_in_flight))
         });
-        // Write-buffer forwarding: youngest entry for the word.
-        let forwarded = forwarded.or_else(|| {
-            self.wb
-                .iter()
-                .rev()
-                .find(|w| w.addr == addr)
-                .map(|w| w.value)
-        });
+        let forwarded = match lsq {
+            Some((_, true, _)) => None, // performed: read the coherent cache
+            // The write's cache access is in flight (SC commit-stall store
+            // or executing atomic): it may or may not have reached the
+            // cache yet, so neither forwarding nor a cache read is safe.
+            // Hold the load until the perform acknowledges.
+            Some((_, false, true)) => return,
+            Some((value, false, false)) => Some(value),
+            // Write-buffer forwarding: youngest entry for the word. An
+            // entry whose drain is in flight is unsafe the same way — hold
+            // the load until the drain acknowledges.
+            None => match self.wb.iter().rev().find(|w| w.addr == addr) {
+                Some(w) if w.issued => return,
+                Some(w) => Some(w.value),
+                None => None,
+            },
+        };
         if let Some(mut value) = forwarded {
             if self.lsq_fault_armed {
                 // Injected fault: incorrect LSQ forwarding (§6.1).

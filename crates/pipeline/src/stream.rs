@@ -11,8 +11,8 @@
 //! [`SeqNum`] in decode order (delays do not consume sequence numbers), so
 //! a stream can predict the seq of each instruction it emits by counting.
 
-use dvmc_consistency::OpClass;
-use dvmc_types::{SeqNum, WordAddr};
+use dvmc_consistency::{Model, OpClass};
+use dvmc_types::{Cycle, SeqNum, WordAddr};
 
 /// One instruction of the abstract ISA (see DESIGN.md: SPARC v9 is
 /// abstracted to memory operations plus compute delays).
@@ -91,8 +91,26 @@ pub trait InstrStream {
     /// has been delivered.
     fn next(&mut self) -> Fetch;
 
+    /// Like [`next`](Self::next), but told the current cycle. Decode calls
+    /// this; the default ignores the clock, so closed-loop streams (which
+    /// express think time as [`Instr::Delay`] relative to their own
+    /// progress) need not care. *Open-loop* streams override it to
+    /// schedule arrivals against wall-clock time, independent of how fast
+    /// the machine drains them.
+    fn next_at(&mut self, now: Cycle) -> Fetch {
+        let _ = now;
+        self.next()
+    }
+
     /// Delivers the committed value of the awaited operation `seq`.
     fn deliver(&mut self, seq: SeqNum, value: u64);
+
+    /// Retargets the stream's fence vocabulary to `model` (dynamic
+    /// consistency-model switching, applied by the core at a quiescent
+    /// point). Most programs are compiled for one model and ignore this.
+    fn switch_model(&mut self, model: Model) {
+        let _ = model;
+    }
 
     /// Completed transactions (workload progress metric; §6.2 runs each
     /// benchmark for a fixed number of transactions).

@@ -149,6 +149,13 @@ pub struct SystemConfig {
     pub workload: WorkloadParams,
     /// Optional fault to inject (§6.1).
     pub fault: Option<FaultPlan>,
+    /// Additional scheduled faults beyond [`fault`](Self::fault) — a
+    /// fault *storm* for soak runs (DESIGN.md §13). Injected in schedule
+    /// order, one at a time: the next fault begins its injection attempts
+    /// only once the previous one has taken, so a single-`fault`
+    /// configuration draws the identical RNG sequence whether this is
+    /// empty or not.
+    pub storm: Vec<FaultPlan>,
     /// SafetyNet parameters (checkpoint cadence, validation latency, log
     /// depth, coordination traffic). Only consulted when
     /// [`Protection::ber`] is on.
@@ -253,6 +260,7 @@ pub struct SystemBuilder {
     seed: u64,
     perturbation: u64,
     fault: Option<FaultPlan>,
+    storm: Vec<FaultPlan>,
     ber: SafetyNetConfig,
     recovery: Option<RecoveryPolicy>,
     watchdog_cycles: u64,
@@ -277,6 +285,7 @@ impl Default for SystemBuilder {
             seed: 1,
             perturbation: 1,
             fault: None,
+            storm: Vec::new(),
             ber: SafetyNetConfig::default(),
             recovery: None,
             watchdog_cycles: 200_000,
@@ -364,6 +373,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Schedules a whole fault storm (soak runs): every plan is injected
+    /// in schedule order, in addition to any single
+    /// [`fault`](Self::fault).
+    pub fn storm(mut self, plans: Vec<FaultPlan>) -> Self {
+        self.storm = plans;
+        self
+    }
+
     /// Overrides the SafetyNet parameters (checkpoint cadence, validation
     /// latency, log depth).
     pub fn ber_config(mut self, cfg: SafetyNetConfig) -> Self {
@@ -442,6 +459,7 @@ impl SystemBuilder {
                 model: self.model,
             },
             fault: self.fault,
+            storm: self.storm,
             ber: self.ber,
             recovery: self.recovery,
             watchdog_cycles: self.watchdog_cycles,

@@ -22,7 +22,10 @@ pub mod system;
 pub use config::{ConfigError, Protection, RecoveryPolicy, SystemBuilder, SystemConfig};
 pub use dvmc_ber::{BerConfigError, SafetyNetConfig};
 pub use dvmc_coherence::Protocol;
-pub use report::{mean_std, Detection, RecoveryOutcome, RecoveryReport, RunReport};
+pub use report::{
+    mean_std, percentile, Detection, EpisodeReport, RecoveryOutcome, RecoveryReport, RunReport,
+    ServiceReport, ServiceStop, WindowSnapshot,
+};
 pub use system::System;
 
 /// Runs one fully-specified simulation cell to completion and returns its

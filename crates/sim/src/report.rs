@@ -57,6 +57,157 @@ pub struct RecoveryReport {
     pub outcome: RecoveryOutcome,
 }
 
+/// One recovery *episode* of a service-mode run (DESIGN.md §13): from the
+/// first fault of a burst landing to the machine running clean again.
+/// Soak runs see many of these; `RecoveryReport` summarizes the run's
+/// single episode in the classic one-fault experiments.
+#[derive(Clone, Debug)]
+pub struct EpisodeReport {
+    /// The faults injected while the episode was open (overlapping
+    /// transients pile into one episode).
+    pub faults: Vec<Fault>,
+    /// When the episode's first fault took effect.
+    pub injected_at: Cycle,
+    /// When a checker or the watchdog first flagged it (`None`: never
+    /// detected — the faults were architecturally masked and aged out).
+    pub detected_at: Option<Cycle>,
+    /// Rollback/replay attempts spent on this episode.
+    pub attempts: u32,
+    /// Deepest rollback of the episode, in cycles rewound.
+    pub rollback_depth: Cycle,
+    /// When the machine was clean again (`None`: still open at shutdown,
+    /// or unrecoverable).
+    pub recovered_at: Option<Cycle>,
+}
+
+impl EpisodeReport {
+    /// How many faults overlapped in this episode.
+    pub fn overlap(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Injection-to-detection latency, when detected.
+    pub fn detection_latency(&self) -> Option<Cycle> {
+        self.detected_at.map(|d| d.saturating_sub(self.injected_at))
+    }
+
+    /// Detection-to-clean latency, when recovered.
+    pub fn recovery_latency(&self) -> Option<Cycle> {
+        match (self.detected_at, self.recovered_at) {
+            (Some(d), Some(r)) => Some(r.saturating_sub(d)),
+            _ => None,
+        }
+    }
+}
+
+/// One streaming observability snapshot of a service-mode window. All
+/// fields are integers (deltas over the window unless noted), so the
+/// canonical JSON artifact stays float-free and byte-identical across
+/// thread counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WindowSnapshot {
+    /// Window start cycle (inclusive).
+    pub start: Cycle,
+    /// Window end cycle (exclusive).
+    pub end: Cycle,
+    /// Memory operations retired during the window (saturating across
+    /// rollbacks: replayed work is not double-counted).
+    pub retired_ops: u64,
+    /// Service requests generated (open-loop arrivals).
+    pub requests: u64,
+    /// Faults injected.
+    pub injected: u64,
+    /// Outstanding faults that aged out architecturally masked.
+    pub masked: u64,
+    /// Recovery episodes closed.
+    pub episodes_closed: u64,
+    /// Sum of detection latencies of episodes closed this window.
+    pub detection_latency_sum: Cycle,
+    /// Number of detection latencies in the sum.
+    pub detection_latency_count: u64,
+    /// Sum of recovery latencies of episodes closed this window.
+    pub recovery_latency_sum: Cycle,
+    /// Number of recovery latencies in the sum.
+    pub recovery_latency_count: u64,
+    /// Deepest rollback of the window, in cycles rewound.
+    pub rollback_depth_max: Cycle,
+    /// Rollback/replay attempts started.
+    pub retries: u64,
+    /// Epoch-sorter occupancy high-water mark (instantaneous, not a
+    /// delta).
+    pub sorter_hwm: u64,
+    /// Inform-Epoch messages enqueued (delta).
+    pub informs: u64,
+    /// Epoch messages CRC-checked against the MET (delta).
+    pub crc_checks: u64,
+    /// Cache epochs closed (delta).
+    pub epoch_closes: u64,
+}
+
+/// Why a service-mode run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceStop {
+    /// The configured horizon was reached (the healthy outcome).
+    Horizon,
+    /// A checker raised a violation with no fault ever injected — a false
+    /// positive, fatal for a dynamic-verification scheme.
+    FalseViolation,
+    /// An episode exhausted its retries or escaped the checkpoint window.
+    Unrecoverable,
+}
+
+/// The result of a service-mode (soak) run.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Per-window streaming snapshots, in order.
+    pub windows: Vec<WindowSnapshot>,
+    /// Recovery episodes, in order of their first injection.
+    pub episodes: Vec<EpisodeReport>,
+    /// Faults injected over the whole run.
+    pub injected: u64,
+    /// Faults that aged out architecturally masked (never detected,
+    /// outlived the full SafetyNet window without consequence).
+    pub masked: u64,
+    /// Why the run stopped.
+    pub stopped: ServiceStop,
+    /// The final conventional report (stats, obs, memory digest…).
+    pub report: RunReport,
+}
+
+impl ServiceReport {
+    /// Episodes that were detected but never recovered (the acceptance
+    /// gate counts these; zero on a healthy transient-only soak).
+    pub fn unrecovered(&self) -> usize {
+        self.episodes
+            .iter()
+            .filter(|e| e.detected_at.is_some() && e.recovered_at.is_none())
+            .count()
+    }
+
+    /// Detection latencies of all detected episodes.
+    pub fn detection_latencies(&self) -> Vec<Cycle> {
+        self.episodes.iter().filter_map(EpisodeReport::detection_latency).collect()
+    }
+
+    /// Recovery latencies of all recovered episodes.
+    pub fn recovery_latencies(&self) -> Vec<Cycle> {
+        self.episodes.iter().filter_map(EpisodeReport::recovery_latency).collect()
+    }
+}
+
+/// Nearest-rank percentile over integer samples (`p` in 0–100). Pure
+/// integer arithmetic: canonical artifacts must not depend on float
+/// formatting. Returns `None` on an empty series.
+pub fn percentile(samples: &[Cycle], p: u32) -> Option<Cycle> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (p as usize * sorted.len()).div_ceil(100);
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
 /// The result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -158,6 +309,40 @@ mod tests {
         assert!((s - 2.138089935299395).abs() < 1e-9);
         assert_eq!(mean_std(&[]), (0.0, 0.0));
         assert_eq!(mean_std(&[3.0]), (3.0, 0.0));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let xs: Vec<Cycle> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 50), Some(50));
+        assert_eq!(percentile(&xs, 99), Some(99));
+        assert_eq!(percentile(&xs, 100), Some(100));
+        assert_eq!(percentile(&xs, 0), Some(1));
+        assert_eq!(percentile(&[7], 99), Some(7));
+        assert_eq!(percentile(&[], 50), None);
+        assert_eq!(percentile(&[30, 10, 20], 50), Some(20), "sorts first");
+    }
+
+    #[test]
+    fn episode_latencies() {
+        let e = EpisodeReport {
+            faults: vec![Fault::DropMessage, Fault::DropMessage],
+            injected_at: 1_000,
+            detected_at: Some(4_000),
+            attempts: 2,
+            rollback_depth: 3_500,
+            recovered_at: Some(9_000),
+        };
+        assert_eq!(e.overlap(), 2);
+        assert_eq!(e.detection_latency(), Some(3_000));
+        assert_eq!(e.recovery_latency(), Some(5_000));
+        let masked = EpisodeReport {
+            detected_at: None,
+            recovered_at: None,
+            ..e
+        };
+        assert_eq!(masked.detection_latency(), None);
+        assert_eq!(masked.recovery_latency(), None);
     }
 
     #[test]

@@ -2,19 +2,24 @@
 //! fault injection, advanced cycle by cycle.
 
 use crate::config::SystemConfig;
-use crate::report::{Detection, RecoveryOutcome, RecoveryReport, RunReport};
+use crate::report::{
+    Detection, EpisodeReport, RecoveryOutcome, RecoveryReport, RunReport, ServiceReport,
+    ServiceStop, WindowSnapshot,
+};
 use dvmc_ber::SafetyNet;
 use dvmc_coherence::Cluster;
+use dvmc_consistency::Model;
 use dvmc_core::{
-    CheckerEvent, CoherenceViolation, EventSink, ObsMetrics, ObsRing, TimedEvent, Violation,
-    ViolationReport,
+    CheckerEvent, CoherenceViolation, EventSink, MetricsWindow, ObsMetrics, ObsRing, TimedEvent,
+    Violation, ViolationReport,
 };
-use dvmc_faults::Fault;
+use dvmc_faults::{Fault, FaultPlan};
 use dvmc_pipeline::Core;
 use dvmc_types::rng::{det_rng, derive_seed, DetRng};
 use dvmc_types::{Cycle, NodeId};
 use dvmc_workloads::spec::build_streams;
 use rand::Rng;
+use std::collections::VecDeque;
 
 /// Everything a rollback must restore: the architectural and
 /// microarchitectural state of every core (ROBs, write buffers, checkers,
@@ -69,6 +74,65 @@ pub struct System {
     /// snapshots so a rollback cannot erase recovery history. Merged into
     /// node 0's observability (BER coordination is rooted there).
     recovery_ring: Option<ObsRing>,
+    /// Faults not yet injected, schedule order (`cfg.fault` plus the
+    /// storm, sorted by time). Only the front plan attempts injection
+    /// each cycle, so single-fault configurations draw the identical RNG
+    /// sequence they always did. Deliberately outside the snapshots:
+    /// rollback must not resurrect already-injected transients.
+    pending_faults: VecDeque<FaultPlan>,
+    /// Injected faults whose consequences may still be latent:
+    /// `(plan, injected_at)`. Drained on rollback (the restore squashes
+    /// their effects) or aged out as masked once they outlive the full
+    /// SafetyNet window without a detection.
+    outstanding: Vec<(FaultPlan, Cycle)>,
+    /// The most recently injected plan (detection attribution fallback).
+    last_injected: Option<FaultPlan>,
+    /// Faults injected over the whole run.
+    total_injected: u64,
+    /// Outstanding faults that aged out architecturally masked.
+    masked: u64,
+    /// Rollback/replay attempts spent on the *current* episode; the
+    /// retry cap and escalation key off this, so a soak run's budget
+    /// resets per episode. Equal to `recovery_attempts` in single-fault
+    /// runs (one episode).
+    episode_attempts: u32,
+    /// The open recovery episode, if any (service mode).
+    episode: Option<EpisodeState>,
+    /// Closed episodes, in order of first injection.
+    episodes: Vec<EpisodeReport>,
+    /// Streaming-window bookkeeping when service mode is armed.
+    service: Option<ServiceState>,
+    /// Deepest rollback since the last window snapshot.
+    window_rollback_depth: Cycle,
+}
+
+/// The open recovery episode: from a burst's first injection to the
+/// machine running clean again.
+struct EpisodeState {
+    faults: Vec<Fault>,
+    injected_at: Cycle,
+    detected_at: Option<Cycle>,
+    attempts: u32,
+    rollback_depth: Cycle,
+    /// The (pre-rollback) cycle of the latest detection; once the replay
+    /// runs past it again without re-manifesting, the episode is clean.
+    clean_after: Cycle,
+}
+
+/// Window bookkeeping for service mode: last-seen watermarks for every
+/// delta the streaming snapshots report.
+struct ServiceState {
+    window: Cycle,
+    next_boundary: Cycle,
+    metrics_window: MetricsWindow,
+    last_retired: u64,
+    last_requests: u64,
+    last_injected: u64,
+    last_masked: u64,
+    last_episodes: usize,
+    last_retries: u32,
+    windows: Vec<WindowSnapshot>,
+    stopped: Option<ServiceStop>,
 }
 
 /// `NodeId` for node index `i`, under the `System` invariant that
@@ -106,6 +170,12 @@ impl System {
         }
         let recovery_ring = (cfg.obs_capacity > 0 && cfg.recovery.is_some())
             .then(|| ObsRing::new(cfg.obs_capacity));
+        // One injection schedule: the single fault (if any) plus the
+        // storm, time-sorted (stable, so a single fault keeps its place
+        // on ties).
+        let mut pending: Vec<FaultPlan> = cfg.fault.into_iter().chain(cfg.storm.iter().copied()).collect();
+        pending.sort_by_key(|p| p.at_cycle);
+        let pending_faults: VecDeque<FaultPlan> = pending.into();
         let mut sys = System {
             cores,
             cluster,
@@ -113,7 +183,17 @@ impl System {
             rng: det_rng(derive_seed(cfg.workload.seed, 0xFA17)),
             violations: Vec::new(),
             fault_injected_at: None,
-            fault_done: cfg.fault.is_none(),
+            fault_done: pending_faults.is_empty(),
+            pending_faults,
+            outstanding: Vec::new(),
+            last_injected: None,
+            total_injected: 0,
+            masked: 0,
+            episode_attempts: 0,
+            episode: None,
+            episodes: Vec::new(),
+            service: None,
+            window_rollback_depth: 0,
             progress: vec![(0, 0); cfg.nodes],
             hung: false,
             first_violation_node: None,
@@ -338,19 +418,39 @@ impl System {
         self.cores.iter().all(Core::is_done)
     }
 
+    /// Whether any fault was or will be injected this run.
+    fn fault_scheduled(&self) -> bool {
+        self.cfg.fault.is_some() || !self.cfg.storm.is_empty()
+    }
+
     fn maybe_inject_fault(&mut self, now: Cycle) {
         if self.fault_done {
             return;
         }
-        let Some(plan) = self.cfg.fault else {
-            self.fault_done = true;
-            return;
-        };
-        if now < plan.at_cycle {
-            return;
+        // Attempt every *due* plan each tick (the queue is sorted by
+        // injection time, so the due plans are a prefix). A plan whose
+        // precondition is missing must not block the plans behind it —
+        // a storm burst targets independent structures, and e.g. a
+        // wb-reorder waiting for two buffered stores can wait a while.
+        let mut i = 0;
+        while i < self.pending_faults.len() {
+            let plan = self.pending_faults[i];
+            if now < plan.at_cycle {
+                break;
+            }
+            if self.attempt_inject(plan, now) {
+                self.pending_faults.remove(i);
+            } else {
+                i += 1;
+            }
         }
-        // Some faults need state to exist (a resident line, a WB entry);
-        // retry every cycle until the injection takes.
+        self.fault_done = self.pending_faults.is_empty();
+    }
+
+    /// One injection attempt; `true` when it took. Some faults need state
+    /// to exist (a resident line, a WB entry) and are retried every cycle
+    /// until it does.
+    fn attempt_inject(&mut self, plan: FaultPlan, now: Cycle) -> bool {
         let idx = self.rng.gen::<u64>() as usize;
         let bit = self.rng.gen::<u32>();
         let took = match plan.fault {
@@ -408,8 +508,26 @@ impl System {
         };
         if took {
             self.fault_injected_at = Some(now);
-            self.fault_done = true;
+            self.last_injected = Some(plan);
+            self.total_injected += 1;
+            self.outstanding.push((plan, now));
+            // Open (or extend) the recovery episode: overlapping faults
+            // pile into one episode until the machine is clean again.
+            match self.episode.as_mut() {
+                Some(ep) => ep.faults.push(plan.fault),
+                None => {
+                    self.episode = Some(EpisodeState {
+                        faults: vec![plan.fault],
+                        injected_at: now,
+                        detected_at: None,
+                        attempts: 0,
+                        rollback_depth: 0,
+                        clean_after: now,
+                    });
+                }
+            }
         }
+        took
     }
 
     /// Runs to completion (all threads finish their transaction quota),
@@ -421,7 +539,7 @@ impl System {
     /// unrecoverable verdict (retries exhausted, window escaped) stops it.
     pub fn run_to_completion(&mut self, max_cycles: u64) -> RunReport {
         let limit = max_cycles.min(self.cfg.max_cycles);
-        let fault_scheduled = self.cfg.fault.is_some();
+        let fault_scheduled = self.fault_scheduled();
         while self.now() < limit {
             self.tick();
             if fault_scheduled
@@ -453,6 +571,315 @@ impl System {
         self.report()
     }
 
+    /// Requests a consistency-model switch on every core, applied per
+    /// core at its next quiescent point (empty ROB, write buffer, and
+    /// outstanding-request table). Idempotent — re-asserting the current
+    /// model is a no-op — which matters because a rollback can restore
+    /// cores to a pre-switch snapshot: the soak driver re-asserts the
+    /// active model at every window boundary so a rolled-back switch is
+    /// simply requested again.
+    pub fn switch_model(&mut self, model: Model) {
+        for core in &mut self.cores {
+            core.request_model_switch(model);
+        }
+    }
+
+    /// All nodes' checker observability metrics, merged.
+    pub fn obs_metrics(&self) -> ObsMetrics {
+        let mut m = ObsMetrics::default();
+        for i in 0..self.cfg.nodes {
+            m.merge(&self.node_obs_metrics(i));
+        }
+        m
+    }
+
+    /// Faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.total_injected
+    }
+
+    // ----- service mode (DESIGN.md §13) ----------------------------------
+
+    /// Arms service mode: the run becomes open-ended, with a streaming
+    /// [`WindowSnapshot`] emitted every `window` cycles by
+    /// [`run_service_until`](Self::run_service_until).
+    pub fn arm_service(&mut self, window: Cycle) {
+        let window = window.max(1);
+        self.service = Some(ServiceState {
+            window,
+            next_boundary: self.now() + window,
+            metrics_window: MetricsWindow::default(),
+            last_retired: 0,
+            last_requests: 0,
+            last_injected: 0,
+            last_masked: 0,
+            last_episodes: 0,
+            last_retries: 0,
+            windows: Vec::new(),
+            stopped: None,
+        });
+    }
+
+    /// Runs service-mode ticks until `until` (or a fatal stop), invoking
+    /// `on_window` at every window boundary. Detections are recovered
+    /// in-line and grouped into episodes; the run only stops early on a
+    /// *false violation* (a checker fired with no fault in flight — fatal
+    /// for a verification scheme) or an unrecoverable episode. May be
+    /// called repeatedly with increasing horizons (e.g. once per
+    /// consistency-model segment of a soak schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`arm_service`](Self::arm_service) was called.
+    pub fn run_service_until(
+        &mut self,
+        until: Cycle,
+        on_window: &mut dyn FnMut(&WindowSnapshot),
+    ) -> ServiceStop {
+        assert!(self.service.is_some(), "arm_service before run_service_until");
+        if let Some(stop) = self.service.as_ref().and_then(|s| s.stopped) {
+            return stop; // already dead; don't limp on
+        }
+        let stop = loop {
+            if self.now() >= until {
+                break ServiceStop::Horizon;
+            }
+            self.tick();
+            let now = self.now();
+            self.age_masked(now);
+            if !self.violations.is_empty() || self.hung {
+                if self.episode.is_none() && self.outstanding.is_empty() {
+                    // Nothing in flight to blame: a spontaneous checker
+                    // violation is a false positive; a spontaneous hang
+                    // has nothing to roll back past.
+                    break if self.violations.is_empty() {
+                        ServiceStop::Unrecoverable
+                    } else {
+                        ServiceStop::FalseViolation
+                    };
+                }
+                if !self.try_recover() {
+                    self.unrecoverable = true;
+                    break ServiceStop::Unrecoverable;
+                }
+                continue; // rolled back; replay
+            }
+            self.maybe_close_episode(now);
+            self.emit_windows(now, on_window);
+        };
+        if stop != ServiceStop::Horizon {
+            if let Some(svc) = self.service.as_mut() {
+                svc.stopped = Some(stop);
+            }
+        }
+        stop
+    }
+
+    /// Ends service mode: stops injecting, gives an open episode a short
+    /// grace period to settle, emits the final (partial) window, and
+    /// packages everything into a [`ServiceReport`]. The partial report is
+    /// well-formed even after a fatal stop — windows and episodes up to
+    /// the stop are all present.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`arm_service`](Self::arm_service) was called.
+    pub fn finish_service(&mut self) -> ServiceReport {
+        assert!(self.service.is_some(), "arm_service before finish_service");
+        self.pending_faults.clear();
+        self.fault_done = true;
+        let fatal = self.service.as_ref().and_then(|s| s.stopped).is_some();
+        // Grace drain: an episode mid-recovery at the horizon gets up to
+        // two watchdog periods to come clean before shutdown.
+        if !fatal && self.episode.is_some() {
+            let deadline = self.now() + self.cfg.watchdog_cycles.saturating_mul(2);
+            while self.episode.is_some() && self.now() < deadline {
+                self.tick();
+                let now = self.now();
+                self.age_masked(now);
+                if !self.violations.is_empty() || self.hung {
+                    if !self.try_recover() {
+                        self.unrecoverable = true;
+                        break;
+                    }
+                    continue;
+                }
+                self.maybe_close_episode(now);
+            }
+        }
+        let now = self.now();
+        let mut svc = self.service.take().expect("checked above");
+        // Final partial window.
+        let start = svc.next_boundary - svc.window;
+        if now > start {
+            let mut snap = self.window_snapshot(&mut svc);
+            snap.end = now;
+            svc.windows.push(snap);
+        }
+        // An episode still open at shutdown goes on record unrecovered
+        // (or, if never detected, masked-in-progress).
+        if let Some(ep) = self.episode.take() {
+            self.episodes.push(EpisodeReport {
+                faults: ep.faults,
+                injected_at: ep.injected_at,
+                detected_at: ep.detected_at,
+                attempts: ep.attempts,
+                rollback_depth: ep.rollback_depth,
+                recovered_at: None,
+            });
+        }
+        let stopped = svc.stopped.unwrap_or(ServiceStop::Horizon);
+        let report = self.report();
+        ServiceReport {
+            windows: svc.windows,
+            episodes: std::mem::take(&mut self.episodes),
+            injected: self.total_injected,
+            masked: self.masked,
+            stopped,
+            report,
+        }
+    }
+
+    /// Ages outstanding *transient* faults: one that outlives the full
+    /// SafetyNet recovery window without any detection is architecturally
+    /// masked — even if it *did* manifest later, no checkpoint predating
+    /// it would remain, so the mask horizon and the recovery horizon
+    /// coincide. Persistent faults never age out: a stuck bit stays
+    /// broken, and it must still be on the books when a late organic
+    /// detection finally fingers it (otherwise that detection would be
+    /// misread as a false violation).
+    fn age_masked(&mut self, now: Cycle) {
+        if self.outstanding.is_empty() {
+            return;
+        }
+        let window = self.ber.as_ref().map_or_else(
+            || self.cfg.ber.recovery_window(),
+            |b| b.config().recovery_window(),
+        );
+        let before = self.outstanding.len();
+        self.outstanding
+            .retain(|&(p, t)| !p.fault.is_transient() || now.saturating_sub(t) <= window);
+        let aged = (before - self.outstanding.len()) as u64;
+        if aged == 0 {
+            return;
+        }
+        self.masked += aged;
+        // A never-detected episode whose faults all aged out closes as
+        // masked.
+        if self.outstanding.is_empty() {
+            if let Some(ep) = self.episode.as_ref() {
+                if ep.detected_at.is_none() && ep.attempts == 0 {
+                    let ep = self.episode.take().expect("just checked");
+                    self.episodes.push(EpisodeReport {
+                        faults: ep.faults,
+                        injected_at: ep.injected_at,
+                        detected_at: None,
+                        attempts: 0,
+                        rollback_depth: 0,
+                        recovered_at: None,
+                    });
+                    self.fault_injected_at = None;
+                    self.episode_attempts = 0;
+                }
+            }
+        }
+    }
+
+    /// Closes the open episode as recovered once the machine has run
+    /// clean past the episode's last detection point: no outstanding
+    /// faults, no violations, not hung, and the replay has re-passed the
+    /// cycle where the error previously manifested. Closing resets the
+    /// per-episode retry budget and narrows an escalation-widened
+    /// checkpoint cadence back to its configured base.
+    fn maybe_close_episode(&mut self, now: Cycle) {
+        let ready = self.episode.as_ref().is_some_and(|ep| {
+            ep.detected_at.is_some()
+                && ep.attempts > 0
+                && self.outstanding.is_empty()
+                && self.violations.is_empty()
+                && !self.hung
+                && now > ep.clean_after
+        });
+        if !ready {
+            return;
+        }
+        let ep = self.episode.take().expect("checked above");
+        if let Some(ring) = self.recovery_ring.as_mut() {
+            ring.set_now(now);
+            ring.record(CheckerEvent::RecoveryCompleted { attempt: ep.attempts });
+        }
+        self.episodes.push(EpisodeReport {
+            faults: ep.faults,
+            injected_at: ep.injected_at,
+            detected_at: ep.detected_at,
+            attempts: ep.attempts,
+            rollback_depth: ep.rollback_depth,
+            recovered_at: Some(now),
+        });
+        self.episode_attempts = 0;
+        self.fault_injected_at = None;
+        if let Some(ber) = self.ber.as_mut() {
+            ber.narrow_interval(self.cfg.ber.checkpoint_interval);
+        }
+    }
+
+    /// Emits every window boundary `now` has crossed. Rollbacks rewind
+    /// `now`; already-emitted boundaries stay emitted and the next one
+    /// simply waits for the replay to reach it again.
+    fn emit_windows(&mut self, now: Cycle, on_window: &mut dyn FnMut(&WindowSnapshot)) {
+        let Some(mut svc) = self.service.take() else {
+            return;
+        };
+        while now >= svc.next_boundary {
+            let snap = self.window_snapshot(&mut svc);
+            on_window(&snap);
+            svc.windows.push(snap);
+            svc.next_boundary += svc.window;
+        }
+        self.service = Some(svc);
+    }
+
+    /// One window's snapshot: saturating deltas against the previous
+    /// watermarks (counters inside rolled-back components can rewind;
+    /// see [`MetricsWindow`]).
+    fn window_snapshot(&mut self, svc: &mut ServiceState) -> WindowSnapshot {
+        let retired: u64 = self.cores.iter().map(Core::retired_ops).sum();
+        let requests: u64 = self.cores.iter().map(Core::transactions).sum();
+        let closed = &self.episodes[svc.last_episodes.min(self.episodes.len())..];
+        let detection: Vec<Cycle> =
+            closed.iter().filter_map(EpisodeReport::detection_latency).collect();
+        let recovery: Vec<Cycle> =
+            closed.iter().filter_map(EpisodeReport::recovery_latency).collect();
+        let m = self.obs_metrics();
+        let delta = svc.metrics_window.delta(&m);
+        let snap = WindowSnapshot {
+            start: svc.next_boundary - svc.window,
+            end: svc.next_boundary,
+            retired_ops: retired.saturating_sub(svc.last_retired),
+            requests: requests.saturating_sub(svc.last_requests),
+            injected: self.total_injected - svc.last_injected,
+            masked: self.masked - svc.last_masked,
+            episodes_closed: closed.len() as u64,
+            detection_latency_sum: detection.iter().sum(),
+            detection_latency_count: detection.len() as u64,
+            recovery_latency_sum: recovery.iter().sum(),
+            recovery_latency_count: recovery.len() as u64,
+            rollback_depth_max: std::mem::take(&mut self.window_rollback_depth),
+            retries: u64::from(self.recovery_attempts - svc.last_retries),
+            sorter_hwm: delta.sorter_occupancy_hwm,
+            informs: delta.informs_enqueued,
+            crc_checks: delta.crc_checks,
+            epoch_closes: delta.epoch_closes,
+        };
+        svc.last_retired = retired;
+        svc.last_requests = requests;
+        svc.last_injected = self.total_injected;
+        svc.last_masked = self.masked;
+        svc.last_episodes = self.episodes.len();
+        svc.last_retries = self.recovery_attempts;
+        snap
+    }
+
     /// Attempts rollback/replay after a detection. Returns `true` when
     /// the machine was restored to a pre-error checkpoint and the run
     /// should continue, `false` when recovery is off or gave up (the
@@ -462,7 +889,21 @@ impl System {
         let Some(policy) = self.cfg.recovery else {
             return false;
         };
-        let (Some(plan), Some(injected_at)) = (self.cfg.fault, self.fault_injected_at) else {
+        // Roll back past the *earliest* still-outstanding injection: a
+        // storm can land a second fault while the first is latent, and a
+        // rollback that only clears the newer one replays straight into
+        // the older one's corruption. After a rollback drained the
+        // outstanding set, a replay re-detection falls back to the
+        // episode's first injection time.
+        let earliest = self.outstanding.iter().min_by_key(|&&(_, t)| t).copied();
+        let Some(injected_at) = earliest.map(|(_, t)| t).or(self.fault_injected_at) else {
+            return false;
+        };
+        let fault = earliest
+            .map(|(p, _)| p.fault)
+            .or(self.last_injected.map(|p| p.fault))
+            .or(self.cfg.fault.map(|p| p.fault));
+        let Some(fault) = fault else {
             return false;
         };
         let now = self.cluster.now();
@@ -471,7 +912,7 @@ impl System {
         // when.
         if self.recovery_detection.is_none() {
             self.recovery_detection = Some(Detection {
-                fault: plan.fault,
+                fault,
                 injected_at,
                 detected_at: now,
                 violation: self.violations.first().cloned(),
@@ -480,6 +921,10 @@ impl System {
                     .as_ref()
                     .is_some_and(|b| b.recoverable(injected_at, now)),
             });
+        }
+        if let Some(ep) = self.episode.as_mut() {
+            ep.detected_at.get_or_insert(now);
+            ep.clean_after = now;
         }
         // Forensics likewise: captured before restore, while the rings
         // still hold the events leading up to the violation.
@@ -492,7 +937,7 @@ impl System {
                 node,
             });
         }
-        if self.recovery_attempts >= policy.max_retries {
+        if self.episode_attempts >= policy.max_retries {
             // Retries exhausted. No restore: the final violations and
             // rings stay in place, so report() renders fresh forensics
             // for the unrecoverable verdict.
@@ -512,7 +957,14 @@ impl System {
             return false;
         };
         self.recovery_attempts += 1;
-        let attempt = self.recovery_attempts;
+        self.episode_attempts += 1;
+        let attempt = self.episode_attempts;
+        let depth = now.saturating_sub(cp.taken_at);
+        self.window_rollback_depth = self.window_rollback_depth.max(depth);
+        if let Some(ep) = self.episode.as_mut() {
+            ep.attempts = attempt;
+            ep.rollback_depth = ep.rollback_depth.max(depth);
+        }
         if let Some(ring) = self.recovery_ring.as_mut() {
             ring.set_now(now);
             ring.record(CheckerEvent::RecoveryStarted {
@@ -543,9 +995,16 @@ impl System {
         self.recovery_checkpoint = cp.taken_at;
         // An armed-but-unapplied network fault must not re-trip on replay.
         self.cluster.data_net_mut().disarm_fault();
-        // A transient fault is gone once its effects are squashed; a
-        // persistent one re-arms and will re-manifest during replay.
-        self.fault_done = plan.fault.is_transient();
+        // The restore squashed every outstanding fault's effects.
+        // Transients are gone for good; persistent defects re-arm at the
+        // front of the schedule and will re-manifest during replay (the
+        // restored RNG re-injects them identically).
+        for (plan, _) in self.outstanding.drain(..).rev() {
+            if !plan.fault.is_transient() {
+                self.pending_faults.push_front(plan);
+            }
+        }
+        self.fault_done = self.pending_faults.is_empty();
         true
     }
 
@@ -556,7 +1015,10 @@ impl System {
             .first()
             .and_then(violation_node)
             .or(self.first_violation_node.map(nid))
-            .or(self.cfg.fault.and_then(|p| p.fault.node()))
+            .or(self
+                .last_injected
+                .or(self.cfg.fault)
+                .and_then(|p| p.fault.node()))
             .unwrap_or(NodeId(0))
     }
 
@@ -564,17 +1026,35 @@ impl System {
     pub fn report(&mut self) -> RunReport {
         let completed = self.all_done();
         // Drain in-flight coherence traffic (informs, acks, writebacks)
-        // before the end-of-run audit; the cores are done but the memory
-        // system may not be.
-        if completed && !self.hung {
-            let _ = self.cluster.run_to_quiescence(500_000);
+        // before the end-of-run audit. Truncated runs (cycle budget hit
+        // with cores mid-request) drain too: auditing with epoch messages
+        // still in flight makes `finish()` raise spurious SpuriousClose /
+        // EpochOverlap / DataPropagation verdicts — closes racing their
+        // own unscrubbed opens (ROADMAP 3b). Cores stop issuing, but
+        // their pending responses must keep landing or the cluster never
+        // goes quiescent (`resp_out` backs up).
+        if !self.hung {
+            for _ in 0..500_000u64 {
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    let id = nid(i);
+                    let inv = self.cluster.drain_invalidated(id);
+                    core.note_invalidations(&inv);
+                    while let Some(resp) = self.cluster.pop_resp(id) {
+                        core.deliver(resp);
+                    }
+                }
+                if self.cluster.is_quiescent() {
+                    break;
+                }
+                self.cluster.tick();
+            }
             self.violations.extend(self.cluster.drain_violations());
         }
         let now = self.now();
         // End-of-run audit; skipped when a fault already led to a
         // detection or hang, where in-flight state is expectedly
         // inconsistent and the verdict has been decided.
-        if self.cfg.fault.is_none() || (self.violations.is_empty() && !self.hung) {
+        if !self.fault_scheduled() || (self.violations.is_empty() && !self.hung) {
             self.violations.extend(self.cluster.finish());
         }
         // A hung faulted run takes neither branch above, yet its checkers
@@ -587,7 +1067,7 @@ impl System {
         // A run that went through recovery reports its *first* detection
         // (rollback rewound the live evidence); otherwise the detection is
         // derived from the final state as before.
-        let detection = self.recovery_detection.clone().or(match (self.cfg.fault, self.fault_injected_at) {
+        let detection = self.recovery_detection.clone().or(match (self.last_injected.or(self.cfg.fault), self.fault_injected_at) {
             (Some(plan), Some(injected_at)) if !self.violations.is_empty() || self.hung => {
                 let recoverable = self
                     .ber
@@ -938,5 +1418,153 @@ mod tests {
         assert_eq!(report.obs[0].recoveries_started, 2);
         assert_eq!(report.obs[0].recovery_escalations, 1);
         assert_eq!(report.obs[0].recoveries_completed, 0);
+    }
+
+    /// Service mode end to end: an open-loop run under a two-fault
+    /// transient storm detects both, recovers both in-line, closes both
+    /// episodes with finite latencies, and reaches the horizon with zero
+    /// unrecovered faults and zero false violations. Windows tile the
+    /// timeline contiguously and account for the injections.
+    #[test]
+    fn service_mode_recovers_a_transient_storm() {
+        use crate::config::RecoveryPolicy;
+        use dvmc_workloads::spec::WorkloadKind;
+        let mut sys = SystemBuilder::new()
+            .nodes(2)
+            .workload(WorkloadKind::Service { mean_gap: 400 }, u64::MAX / 2)
+            .recovery(RecoveryPolicy {
+                max_retries: 4,
+                backoff_factor: 2,
+            })
+            .watchdog(60_000)
+            .obs(32)
+            .seed(11)
+            .storm(vec![
+                FaultPlan {
+                    at_cycle: 6_000,
+                    fault: Fault::WbCorruptValue { node: NodeId(1) },
+                },
+                FaultPlan {
+                    at_cycle: 90_000,
+                    fault: Fault::WbDropStore { node: NodeId(0) },
+                },
+            ])
+            .build();
+        sys.arm_service(25_000);
+        let mut streamed = 0usize;
+        let stop = sys.run_service_until(250_000, &mut |_snap| streamed += 1);
+        assert_eq!(stop, ServiceStop::Horizon, "no fatal stop under a transient storm");
+        let svc = sys.finish_service();
+        assert_eq!(svc.stopped, ServiceStop::Horizon);
+        assert_eq!(svc.injected, 2, "both storm members injected");
+        assert_eq!(svc.unrecovered(), 0, "every detected fault recovered");
+        assert!(svc.report.violations.is_empty(), "no violation outlives recovery");
+        assert!(!svc.report.hung);
+        // Every closed episode recovered, with sane latency ordering.
+        assert!(!svc.episodes.is_empty(), "the storm produced episodes");
+        for ep in &svc.episodes {
+            if let Some(d) = ep.detected_at {
+                assert!(ep.recovery_latency().is_some(), "recovered: {ep:?}");
+                let r = ep.recovered_at.expect("recovered episodes carry a clean time");
+                assert!(r > d, "the machine comes clean strictly after detection");
+                assert!(d >= ep.injected_at, "detection follows injection");
+                assert!(ep.attempts >= 1);
+            }
+        }
+        // Windows tile the timeline: contiguous, streamed in order, and
+        // the storm's injections are attributed to some window.
+        // Every full window was streamed live; a final *partial* window
+        // exists only when the run ends off a boundary.
+        assert!(
+            svc.windows.len() == streamed || svc.windows.len() == streamed + 1,
+            "{} streamed vs {} recorded",
+            streamed,
+            svc.windows.len()
+        );
+        for w in windows_pairs(&svc.windows) {
+            assert_eq!(w.0.end, w.1.start, "windows are contiguous");
+        }
+        let injected: u64 = svc.windows.iter().map(|w| w.injected).sum();
+        assert_eq!(injected, 2);
+        let retired: u64 = svc.windows.iter().map(|w| w.retired_ops).sum();
+        assert!(retired > 0, "open-loop traffic made forward progress");
+        let closed: u64 = svc.windows.iter().map(|w| w.episodes_closed).sum();
+        assert_eq!(closed as usize, svc.episodes.len(), "window deltas account every episode");
+    }
+
+    fn windows_pairs(w: &[WindowSnapshot]) -> impl Iterator<Item = (&WindowSnapshot, &WindowSnapshot)> {
+        w.iter().zip(w.iter().skip(1))
+    }
+
+    /// White-box: an outstanding fault that outlives the SafetyNet
+    /// recovery window without ever being detected is aged out as
+    /// *masked*, and its never-detected episode closes with no attempts.
+    #[test]
+    fn undetected_faults_age_out_as_masked() {
+        use dvmc_workloads::spec::WorkloadKind;
+        let mut sys = SystemBuilder::new()
+            .nodes(2)
+            .workload(WorkloadKind::Service { mean_gap: 400 }, u64::MAX / 2)
+            .obs(32)
+            .seed(7)
+            .build();
+        sys.arm_service(10_000);
+        let plan = FaultPlan {
+            at_cycle: 0,
+            fault: Fault::MemoryBitFlip { node: NodeId(1) },
+        };
+        sys.outstanding.push((plan, 100));
+        sys.total_injected = 1;
+        sys.episode = Some(EpisodeState {
+            faults: vec![plan.fault],
+            injected_at: 100,
+            detected_at: None,
+            attempts: 0,
+            rollback_depth: 0,
+            clean_after: 100,
+        });
+        let window = sys.cfg.ber.recovery_window();
+        sys.age_masked(100 + window); // still inside the window
+        assert_eq!(sys.masked, 0);
+        assert!(sys.episode.is_some());
+        sys.age_masked(101 + window); // one past it
+        assert_eq!(sys.masked, 1);
+        assert!(sys.episode.is_none(), "the never-detected episode closed");
+        assert!(sys.outstanding.is_empty());
+        let svc = sys.finish_service();
+        assert_eq!(svc.masked, 1);
+        assert_eq!(svc.unrecovered(), 0, "masked faults are not unrecovered");
+        let ep = &svc.episodes[0];
+        assert_eq!(ep.detected_at, None);
+        assert_eq!(ep.attempts, 0);
+        assert_eq!(ep.recovered_at, None);
+    }
+
+    /// Cores apply a requested consistency-model switch only at a
+    /// quiescent point, and the service harness's per-boundary re-assert
+    /// is idempotent.
+    #[test]
+    fn model_switch_applies_quiescently_in_service_mode() {
+        use dvmc_consistency::Model;
+        use dvmc_workloads::spec::WorkloadKind;
+        let mut sys = SystemBuilder::new()
+            .nodes(2)
+            .workload(WorkloadKind::Service { mean_gap: 400 }, u64::MAX / 2)
+            .model(Model::Tso)
+            .seed(3)
+            .build();
+        sys.arm_service(5_000);
+        let stop = sys.run_service_until(20_000, &mut |_| {});
+        assert_eq!(stop, ServiceStop::Horizon);
+        sys.switch_model(Model::Rmo);
+        sys.switch_model(Model::Rmo); // idempotent re-assert
+        let stop = sys.run_service_until(60_000, &mut |_| {});
+        assert_eq!(stop, ServiceStop::Horizon);
+        for core in &sys.cores {
+            assert_eq!(core.model(), Model::Rmo, "switch applied at a quiescent point");
+        }
+        let svc = sys.finish_service();
+        assert_eq!(svc.stopped, ServiceStop::Horizon);
+        assert!(svc.report.violations.is_empty(), "{:?}", svc.report.violations);
     }
 }

@@ -33,6 +33,24 @@ use rand::Rng;
 /// litmus shapes use, far from the transaction-workload ranges.
 const POOL_BASE: u64 = 0x1000;
 
+/// How the generator lays out its address pool.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AddrMix {
+    /// Every pool address lives in its own coherence block (the classic
+    /// diy shape: all conflicts are same-word conflicts).
+    #[default]
+    Disjoint,
+    /// The pool mixes conflict granularities: several distinct words
+    /// share a coherence block (false sharing — an invalidation for one
+    /// word's write hits its block neighbours too) alongside words in
+    /// separate blocks. This stresses the block-granular machinery the
+    /// disjoint pool never exercises: §4.1 forgiveness marks applied to
+    /// *other* words of an invalidated block, evictions staling multiple
+    /// in-flight loads at once, and write-buffer entries for neighbouring
+    /// words draining into the same line.
+    Mixed,
+}
+
 /// The kind of a communication edge in the generated critical cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum CommEdge {
@@ -64,6 +82,8 @@ pub struct FuzzProgram {
     /// The model the program was generated for (decides the barrier
     /// vocabulary).
     pub model: Model,
+    /// The address-pool shape the program was generated with.
+    pub mix: AddrMix,
     /// Per-thread instruction lists, jitter excluded.
     pub threads: Vec<Vec<Instr>>,
 }
@@ -77,7 +97,10 @@ impl FuzzProgram {
     /// A compact human-readable listing, for disagreement forensics.
     pub fn render(&self) -> String {
         use std::fmt::Write;
-        let mut s = format!("fuzz program seed={:#x} model={}\n", self.seed, self.model);
+        let mut s = format!(
+            "fuzz program seed={:#x} model={} mix={:?}\n",
+            self.seed, self.model, self.mix
+        );
         for (tid, prog) in self.threads.iter().enumerate() {
             let _ = write!(s, "  t{tid}:");
             for i in prog {
@@ -150,9 +173,17 @@ fn draw_barrier(rng: &mut DetRng, model: Model) -> Option<Instr> {
     }
 }
 
-/// Generates the program for `(seed, model)` — a pure function: the same
-/// pair always yields the same program, on any host and at any `--jobs`.
+/// Generates the program for `(seed, model)` with the classic
+/// one-block-per-address pool — a pure function: the same pair always
+/// yields the same program, on any host and at any `--jobs`.
 pub fn generate(seed: u64, model: Model) -> FuzzProgram {
+    generate_with(seed, model, AddrMix::Disjoint)
+}
+
+/// Generates the program for `(seed, model, mix)`; see [`AddrMix`] for
+/// the pool shapes. Pure for the triple. `Disjoint` is bit-identical to
+/// [`generate`] at the same `(seed, model)`.
+pub fn generate_with(seed: u64, model: Model, mix: AddrMix) -> FuzzProgram {
     let mut rng = det_rng(derive_seed(seed, model as u64));
     // Mostly small programs (2–4 threads probe reordering windows best),
     // occasionally wide ones (5–8 threads stress IRIW-like independence).
@@ -162,7 +193,21 @@ pub fn generate(seed: u64, model: Model) -> FuzzProgram {
         7 | 8 => 4,
         _ => rng.gen_range(5..=8u32) as usize,
     };
-    let pool: Vec<u64> = (0..rng.gen_range(2..=4u64)).map(|i| POOL_BASE * (i + 1)).collect();
+    let mut pool: Vec<u64> = (0..rng.gen_range(2..=4u64)).map(|i| POOL_BASE * (i + 1)).collect();
+    if mix == AddrMix::Mixed {
+        // Widen each block-aligned base with 1–2 sibling words of its own
+        // block, so the pool carries same-word, same-block-different-word,
+        // and cross-block conflicts side by side. Drawn after the base
+        // pool so `Disjoint` keeps its exact RNG sequence.
+        let bases: Vec<u64> = pool.clone();
+        for base in bases {
+            let mut offsets: Vec<u64> = (1..dvmc_types::WORDS_PER_BLOCK as u64).collect();
+            for _ in 0..rng.gen_range(1..=2u32) {
+                let k = rng.gen_range(0..offsets.len());
+                pool.push(base + offsets.swap_remove(k));
+            }
+        }
+    }
     // The critical cycle: one communication edge from each thread to its
     // successor. Consecutive edges prefer distinct addresses (a cycle
     // that stays on one address only probes coherence).
@@ -239,6 +284,7 @@ pub fn generate(seed: u64, model: Model) -> FuzzProgram {
     FuzzProgram {
         seed,
         model,
+        mix,
         threads,
     }
 }
@@ -254,7 +300,18 @@ pub fn build_fuzz_streams(
     threads: usize,
     perturbation: u64,
 ) -> Vec<Box<dyn InstrStream + Send>> {
-    let program = generate(seed, model);
+    build_fuzz_streams_with(seed, model, threads, perturbation, AddrMix::Disjoint)
+}
+
+/// [`build_fuzz_streams`] with an explicit address-pool shape.
+pub fn build_fuzz_streams_with(
+    seed: u64,
+    model: Model,
+    threads: usize,
+    perturbation: u64,
+    mix: AddrMix,
+) -> Vec<Box<dyn InstrStream + Send>> {
+    let program = generate_with(seed, model, mix);
     (0..threads)
         .map(|tid| {
             let mut jitter = det_rng(derive_seed(perturbation, tid as u64));
@@ -343,6 +400,87 @@ mod tests {
                                 seen.insert(*store_value),
                                 "seed {seed}: duplicate store value {store_value}"
                             );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_mode_is_bit_identical_to_generate() {
+        for seed in 0..50u64 {
+            for model in Model::EVALUATED {
+                let a = generate(seed, model);
+                let b = generate_with(seed, model, AddrMix::Disjoint);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_pools_never_share_a_block() {
+        for seed in 0..100u64 {
+            let p = generate(seed, Model::Tso);
+            let mut blocks = std::collections::HashMap::new();
+            for t in &p.threads {
+                for i in t {
+                    if let Instr::Mem { addr, .. } = i {
+                        let prev = blocks.insert(addr.block(), addr.0);
+                        assert!(
+                            prev.is_none_or(|w| w == addr.0),
+                            "seed {seed}: disjoint pool put two words in one block"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_pools_produce_false_sharing() {
+        // Across a modest seed sweep the mixed pool must actually place
+        // distinct words in a shared block (per-program it is stochastic:
+        // the body draws addresses from the pool at random).
+        let mut shared = 0usize;
+        for seed in 0..100u64 {
+            let p = generate_with(seed, Model::Tso, AddrMix::Mixed);
+            assert_eq!(p.mix, AddrMix::Mixed);
+            let mut by_block: std::collections::HashMap<_, std::collections::HashSet<u64>> =
+                std::collections::HashMap::new();
+            for t in &p.threads {
+                for i in t {
+                    if let Instr::Mem { addr, .. } = i {
+                        by_block.entry(addr.block()).or_default().insert(addr.0);
+                    }
+                }
+            }
+            if by_block.values().any(|words| words.len() > 1) {
+                shared += 1;
+            }
+        }
+        assert!(
+            shared > 50,
+            "only {shared}/100 mixed programs exercised same-block different-word conflicts"
+        );
+    }
+
+    #[test]
+    fn mixed_store_values_stay_globally_unique() {
+        for seed in 0..100u64 {
+            let p = generate_with(seed, Model::Rmo, AddrMix::Mixed);
+            let mut seen = std::collections::HashSet::new();
+            for t in &p.threads {
+                for i in t {
+                    if let Instr::Mem {
+                        class,
+                        store_value,
+                        ..
+                    } = i
+                    {
+                        if class.writes() {
+                            assert_ne!(*store_value, 0);
+                            assert!(seen.insert(*store_value), "seed {seed}: duplicate value");
                         }
                     }
                 }

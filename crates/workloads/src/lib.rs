@@ -26,11 +26,16 @@
 pub mod fuzz;
 pub mod layout;
 pub mod litmus;
+pub mod service;
 pub mod spec;
 pub mod txn;
 
-pub use fuzz::{build_fuzz_streams, generate as generate_fuzz_program, FuzzProgram};
+pub use fuzz::{
+    build_fuzz_streams, build_fuzz_streams_with, generate as generate_fuzz_program,
+    generate_with as generate_fuzz_program_with, AddrMix, FuzzProgram,
+};
 pub use layout::Layout;
 pub use litmus::{build_litmus_streams, LitmusStream, LitmusTest};
+pub use service::ServiceStream;
 pub use spec::{build_streams, Profile, WorkloadKind, WorkloadParams};
 pub use txn::TxnStream;

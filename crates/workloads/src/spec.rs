@@ -30,6 +30,20 @@ pub enum WorkloadKind {
     /// model (barrier vocabulary). Like `Litmus`, a correctness probe —
     /// not part of [`WorkloadKind::ALL`].
     Fuzz(u64),
+    /// [`WorkloadKind::Fuzz`] with the mixed address pool
+    /// ([`crate::fuzz::AddrMix::Mixed`]): distinct words sharing coherence
+    /// blocks alongside cross-block conflicts, probing block-granular
+    /// invalidation and eviction paths.
+    FuzzMixed(u64),
+    /// Open-loop Poisson request traffic with Zipf-skewed sharing
+    /// (`crate::service`) for soak runs: arrivals accrue against the
+    /// global clock at the given mean inter-arrival gap (cycles per
+    /// thread) and the stream never completes. Not part of
+    /// [`WorkloadKind::ALL`] — a service endures, it does not finish.
+    Service {
+        /// Mean inter-arrival gap per thread, in cycles.
+        mean_gap: u32,
+    },
 }
 
 impl WorkloadKind {
@@ -62,6 +76,8 @@ impl WorkloadKind {
             WorkloadKind::Litmus(LitmusTest::CoWw) => "litmus-coww",
             WorkloadKind::Litmus(LitmusTest::CoRw1) => "litmus-corw1",
             WorkloadKind::Fuzz(_) => "fuzz",
+            WorkloadKind::FuzzMixed(_) => "fuzz-mixed",
+            WorkloadKind::Service { .. } => "service",
         }
     }
 }
@@ -116,8 +132,11 @@ impl Profile {
             WorkloadKind::Litmus(t) => {
                 panic!("litmus workload {t} has no transaction profile")
             }
-            WorkloadKind::Fuzz(seed) => {
+            WorkloadKind::Fuzz(seed) | WorkloadKind::FuzzMixed(seed) => {
                 panic!("fuzz workload (seed {seed:#x}) has no transaction profile")
+            }
+            WorkloadKind::Service { .. } => {
+                panic!("service workload has no transaction profile")
             }
             WorkloadKind::Apache => Profile {
                 locks_per_thread: 4,
@@ -242,13 +261,35 @@ pub fn build_streams(params: &WorkloadParams) -> Vec<Box<dyn InstrStream + Send>
     if let WorkloadKind::Litmus(test) = params.kind {
         return crate::litmus::build_litmus_streams(test, params.threads, params.perturbation);
     }
-    if let WorkloadKind::Fuzz(seed) = params.kind {
-        return crate::fuzz::build_fuzz_streams(
+    if let WorkloadKind::Fuzz(seed) | WorkloadKind::FuzzMixed(seed) = params.kind {
+        let mix = if matches!(params.kind, WorkloadKind::FuzzMixed(_)) {
+            crate::fuzz::AddrMix::Mixed
+        } else {
+            crate::fuzz::AddrMix::Disjoint
+        };
+        return crate::fuzz::build_fuzz_streams_with(
             seed,
             params.model,
             params.threads,
             params.perturbation,
+            mix,
         );
+    }
+    if let WorkloadKind::Service { mean_gap } = params.kind {
+        return (0..params.threads)
+            .map(|tid| {
+                let seed = derive_seed(params.seed, tid as u64);
+                let perturbation = derive_seed(params.perturbation, tid as u64);
+                Box::new(crate::service::ServiceStream::new(
+                    params.threads,
+                    tid as u64,
+                    mean_gap,
+                    params.model,
+                    seed,
+                    perturbation,
+                )) as Box<dyn InstrStream + Send>
+            })
+            .collect();
     }
     let profile = Profile::of(params.kind);
     let layout = layout_of(params);

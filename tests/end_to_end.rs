@@ -224,10 +224,20 @@ fn every_fault_category_is_detected_on_both_protocols() {
             }
             // Controller-state corruptions only manifest if the corrupted
             // entry is re-contended before the horizon — per-trial
-            // detection is probabilistic (§6.1 reports detection *rates*),
-            // so each category gets a few independent trials and must be
-            // caught in at least one.
-            let detected = [0u64, 100, 200].iter().any(|off| {
+            // detection is probabilistic (§6.1 reports detection *rates*).
+            // Empirically that only bites the directory's forgotten-owner
+            // tracker at the first seed (the stale entry happens not to be
+            // re-fetched), so that one category keeps extra trials; every
+            // other manifest category detects deterministically on the
+            // single fixed seed and is asserted as such.
+            let offs: &[u64] = if protocol == Protocol::Directory
+                && matches!(fault, dvmc::faults::Fault::MemCtrlForgetOwner { .. })
+            {
+                &[0, 100, 200]
+            } else {
+                &[0]
+            };
+            let detected = offs.iter().any(|off| {
                 let mut sys = SystemBuilder::new()
                     .nodes(4)
                     .protocol(protocol)
