@@ -26,7 +26,7 @@ use dvmc_bench::soak::{run_soak, SoakOutcome, SoakSpec};
 use dvmc_bench::{parallel_map_indexed, print_table, ExpOpts};
 use dvmc_consistency::Model;
 use dvmc_faults::{storm_plan, Fault, FaultPlan, StormConfig};
-use dvmc_sim::{Protocol, ServiceStop};
+use dvmc_sim::{CheckpointMode, KernelMode, Protocol, ServiceStop};
 use dvmc_types::rng::{det_rng, derive_seed};
 use dvmc_types::{Cycle, NodeId};
 use std::fmt::Write as _;
@@ -112,6 +112,8 @@ fn main() {
             window,
             max_retries: MAX_RETRIES,
             watchdog: WATCHDOG,
+            kernel: KernelMode::default(),
+            checkpoint: CheckpointMode::default(),
         });
         specs.push(SoakSpec {
             tag: format!("soak/quiet/{protocol:?}"),
@@ -124,6 +126,8 @@ fn main() {
             window,
             max_retries: MAX_RETRIES,
             watchdog: WATCHDOG,
+            kernel: KernelMode::default(),
+            checkpoint: CheckpointMode::default(),
         });
     }
     // Latent stuck bits surface at eviction/CRC; give the episode twice
@@ -142,6 +146,8 @@ fn main() {
         window,
         max_retries: MAX_RETRIES,
         watchdog: WATCHDOG,
+        kernel: KernelMode::default(),
+        checkpoint: CheckpointMode::default(),
     });
 
     let injected_total: usize = specs.iter().map(|s| s.plans.len()).sum();
@@ -164,7 +170,8 @@ fn main() {
             run_soak(spec, &mut |w| {
                 eprintln!(
                     "[{tag}] window {}..{}: retired={} requests={} injected={} masked={} \
-                     episodes={} retries={} depth={} sorter_hwm={} informs={} crc={} closes={}",
+                     episodes={} retries={} depth={} sorter_hwm={} informs={} crc={} closes={} \
+                     qdelay={}x/{}p50/{}p99",
                     w.start,
                     w.end,
                     w.retired_ops,
@@ -178,6 +185,9 @@ fn main() {
                     w.informs,
                     w.crc_checks,
                     w.epoch_closes,
+                    w.queue_delay_count,
+                    w.queue_delay_p50,
+                    w.queue_delay_p99,
                 );
                 let _ = i;
             })
@@ -293,7 +303,8 @@ fn main() {
                 windows_json,
                 "{{\"start\":{},\"end\":{},\"retired\":{},\"requests\":{},\"injected\":{},\
                  \"masked\":{},\"episodes\":{},\"retries\":{},\"depth\":{},\"sorter_hwm\":{},\
-                 \"informs\":{},\"crc\":{},\"closes\":{}}}",
+                 \"informs\":{},\"crc\":{},\"closes\":{},\"qdelay_count\":{},\
+                 \"qdelay_p50\":{},\"qdelay_p99\":{}}}",
                 w.start,
                 w.end,
                 w.retired_ops,
@@ -307,6 +318,9 @@ fn main() {
                 w.informs,
                 w.crc_checks,
                 w.epoch_closes,
+                w.queue_delay_count,
+                w.queue_delay_p50,
+                w.queue_delay_p99,
             );
         }
         let _ = write!(
@@ -314,7 +328,8 @@ fn main() {
             "{{\"tag\":{},\"stopped\":{},\"horizon\":{},\"cycles\":{},\"injected\":{},\
              \"masked\":{},\"episodes\":{},\"detected\":{detected},\"unrecovered\":{},\
              \"p50_detection\":{},\"p99_detection\":{},\"p50_recovery\":{},\"p99_recovery\":{},\
-             \"windows\":[{windows_json}]}}",
+             \"executed\":{},\"skipped\":{},\"ckpt_taken\":{},\"ckpt_bytes\":{},\
+             \"rollbacks\":{},\"windows\":[{windows_json}]}}",
             json_str(tag),
             json_str(stop_label(svc.stopped)),
             got.horizon,
@@ -327,6 +342,11 @@ fn main() {
             opt_cycle(got.p99_detection),
             opt_cycle(got.p50_recovery),
             opt_cycle(got.p99_recovery),
+            got.executed,
+            got.skipped,
+            got.checkpoint.snapshots_taken,
+            got.checkpoint.bytes_logged,
+            got.checkpoint.rollbacks,
         );
     }
     print_table(
@@ -339,7 +359,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\"schema\":\"dvmc-soak/v1\",\"duration\":{duration},\"window\":{window},\
+        "{{\"schema\":\"dvmc-soak/v2\",\"duration\":{duration},\"window\":{window},\
          \"mean_gap\":{mean_gap},\"nodes\":{},\"seed\":{},\"cells\":[{cells_json}]}}\n",
         opts.nodes, opts.seed,
     );

@@ -11,8 +11,8 @@
 use dvmc_consistency::Model;
 use dvmc_faults::FaultPlan;
 use dvmc_sim::{
-    percentile, Protocol, RecoveryPolicy, SafetyNetConfig, ServiceReport, ServiceStop,
-    SystemBuilder, WindowSnapshot,
+    percentile, CheckpointMode, CheckpointStats, KernelMode, Protocol, RecoveryPolicy,
+    SafetyNetConfig, ServiceReport, ServiceStop, SystemBuilder, WindowSnapshot,
 };
 use dvmc_types::rng::derive_seed;
 use dvmc_types::Cycle;
@@ -56,6 +56,11 @@ pub struct SoakSpec {
     pub max_retries: u32,
     /// Hang-watchdog threshold.
     pub watchdog: Cycle,
+    /// Simulation kernel (legacy every-cycle vs event-scheduled); both
+    /// produce bit-identical behaviour, so this only changes speed.
+    pub kernel: KernelMode,
+    /// Checkpoint scheme (whole snapshots vs the incremental delta log).
+    pub checkpoint: CheckpointMode,
 }
 
 /// What [`run_soak`] hands back: the full service report plus the
@@ -74,6 +79,12 @@ pub struct SoakOutcome {
     pub p50_recovery: Option<Cycle>,
     /// p99 of detection-to-clean latency.
     pub p99_recovery: Option<Cycle>,
+    /// Cycles the kernel actually simulated.
+    pub executed: u64,
+    /// Cycles the event-scheduled kernel jumped over (0 under legacy).
+    pub skipped: u64,
+    /// Checkpoint/rollback cost counters for the whole run.
+    pub checkpoint: CheckpointStats,
 }
 
 /// Runs one soak cell to its horizon (or fatal stop), streaming each
@@ -104,6 +115,8 @@ pub fn run_soak(spec: &SoakSpec, on_window: &mut dyn FnMut(&WindowSnapshot)) -> 
         })
         .watchdog(spec.watchdog)
         .obs(32)
+        .kernel(spec.kernel)
+        .checkpoint_mode(spec.checkpoint)
         .build();
     sys.arm_service(spec.window);
     let mut t: Cycle = 0;
@@ -121,11 +134,9 @@ pub fn run_soak(spec: &SoakSpec, on_window: &mut dyn FnMut(&WindowSnapshot)) -> 
         }
     }
     let horizon: Cycle = spec.schedule.iter().map(|&(_, len)| len).sum();
+    let (executed, skipped) = sys.kernel_stats();
+    let checkpoint = sys.checkpoint_stats();
     let service = sys.finish_service();
-    outcome(service, horizon)
-}
-
-fn outcome(service: ServiceReport, horizon: Cycle) -> SoakOutcome {
     let det = service.detection_latencies();
     let rec = service.recovery_latencies();
     SoakOutcome {
@@ -135,6 +146,9 @@ fn outcome(service: ServiceReport, horizon: Cycle) -> SoakOutcome {
         p99_recovery: percentile(&rec, 99),
         service,
         horizon,
+        executed,
+        skipped,
+        checkpoint,
     }
 }
 
@@ -154,6 +168,8 @@ mod tests {
             window: 10_000,
             max_retries: 4,
             watchdog: 60_000,
+            kernel: KernelMode::default(),
+            checkpoint: CheckpointMode::default(),
         }
     }
 

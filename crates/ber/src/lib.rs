@@ -188,6 +188,15 @@ impl<S> SafetyNet<S> {
         &self.cfg
     }
 
+    /// The cycle at which the next checkpoint falls due — the event an
+    /// event-scheduled simulation kernel must not skip past. Under the
+    /// cadence loop of [`tick_with`](Self::tick_with) this is always
+    /// `last_checkpoint + checkpoint_interval` (rewound by rollback,
+    /// widened by escalation).
+    pub fn next_checkpoint_at(&self) -> Cycle {
+        self.last_checkpoint.saturating_add(self.cfg.checkpoint_interval)
+    }
+
     /// Advances to `now`, calling `snapshot` for every checkpoint due and
     /// stamping each at its interval-aligned boundary. Returns how many
     /// checkpoints were created.
@@ -216,6 +225,65 @@ impl<S> SafetyNet<S> {
             }
         }
         created
+    }
+
+    /// Like [`tick_with`](Self::tick_with), but hands back the log
+    /// entries reclaimed by this advance (oldest first) instead of
+    /// dropping them. Log-based incremental checkpointing needs them: a
+    /// reclaimed *delta* still carries the only images of the parts it
+    /// touched, so the caller folds each into its base snapshot before
+    /// letting it go — dropping it would leave the oldest surviving
+    /// delta dangling over a base that postdates it.
+    pub fn tick_with_reclaimed(
+        &mut self,
+        now: Cycle,
+        mut snapshot: impl FnMut() -> S,
+    ) -> Vec<Checkpoint<S>> {
+        let mut reclaimed = Vec::new();
+        while now >= self.last_checkpoint + self.cfg.checkpoint_interval {
+            self.last_checkpoint += self.cfg.checkpoint_interval;
+            self.taken += 1;
+            self.checkpoints.push_back(Checkpoint {
+                taken_at: self.last_checkpoint,
+                state: snapshot(),
+            });
+            while self.checkpoints.len() > self.cfg.max_checkpoints {
+                if let Some(cp) = self.checkpoints.pop_front() {
+                    reclaimed.push(cp);
+                }
+                self.reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Rolls back through a caller-supplied reconstruction instead of a
+    /// clone: finds the recovery point for an error at `error_time`
+    /// detected at `now`, hands `reconstruct` the *whole log* (oldest
+    /// first) plus the recovery point's index — an incremental-checkpoint
+    /// log needs every entry up to that index to rebuild the state, not
+    /// just the entry itself — then drops the poisoned younger entries
+    /// and rewinds the cadence clock exactly like
+    /// [`rollback_to`](Self::rollback_to). Returns the recovery cycle
+    /// and whatever `reconstruct` produced, or `None` if the error
+    /// escaped the window (in which case nothing is called or changed).
+    pub fn rollback_via<R>(
+        &mut self,
+        error_time: Cycle,
+        now: Cycle,
+        reconstruct: impl FnOnce(&[Checkpoint<S>], usize) -> R,
+    ) -> Option<(Cycle, R)> {
+        let idx = self
+            .checkpoints
+            .iter()
+            .rposition(|c| c.taken_at <= error_time && self.validated(c.taken_at, now))?;
+        let entries = self.checkpoints.make_contiguous();
+        let taken_at = entries[idx].taken_at;
+        let result = reconstruct(entries, idx);
+        self.checkpoints.truncate(idx + 1);
+        self.last_checkpoint = taken_at;
+        self.rollbacks += 1;
+        Some((taken_at, result))
     }
 
     /// Whether a checkpoint taken at `taken_at` is validated at `now`
@@ -311,15 +379,8 @@ impl<S: Clone> SafetyNet<S> {
     /// sit permanently behind `last_checkpoint` and no checkpoint would
     /// ever be taken again.
     pub fn rollback_to(&mut self, error_time: Cycle, now: Cycle) -> Option<Checkpoint<S>> {
-        let idx = self
-            .checkpoints
-            .iter()
-            .rposition(|c| c.taken_at <= error_time && self.validated(c.taken_at, now))?;
-        let cp = self.checkpoints[idx].clone();
-        self.checkpoints.truncate(idx + 1);
-        self.last_checkpoint = cp.taken_at;
-        self.rollbacks += 1;
-        Some(cp)
+        self.rollback_via(error_time, now, |entries, idx| entries[idx].state.clone())
+            .map(|(taken_at, state)| Checkpoint { taken_at, state })
     }
 }
 
@@ -441,6 +502,65 @@ mod tests {
         // A second error can roll back to the same checkpoint.
         let again = sn.rollback_to(850, 2000).expect("recovery point retained");
         assert_eq!(again.taken_at, 800);
+    }
+
+    #[test]
+    fn next_checkpoint_tracks_cadence_rollback_and_escalation() {
+        let mut sn: SafetyNet<u64> = SafetyNet::with_initial(cfg(), 0).unwrap();
+        assert_eq!(sn.next_checkpoint_at(), 100);
+        sn.tick_with(250, || 0);
+        assert_eq!(sn.next_checkpoint_at(), 300);
+        // Ticking exactly at the predicted cycle takes exactly one.
+        assert_eq!(sn.tick_with(sn.next_checkpoint_at(), || 0), 1);
+        assert_eq!(sn.next_checkpoint_at(), 400);
+        sn.widen_interval(2);
+        assert_eq!(sn.next_checkpoint_at(), 500);
+        for now in 400..=1000 {
+            sn.tick_with(now, || 0);
+        }
+        sn.rollback_to(950, 1000).expect("in window");
+        assert_eq!(sn.next_checkpoint_at(), 700 + 200, "cadence rewound to 700");
+    }
+
+    #[test]
+    fn tick_with_reclaimed_hands_back_evicted_entries_oldest_first() {
+        let mut sn: SafetyNet<u64> = SafetyNet::with_initial(cfg(), 0).unwrap();
+        // Log capacity 4: the first three advances evict nothing.
+        assert!(sn.tick_with_reclaimed(300, || 1).is_empty());
+        assert_eq!(sn.checkpoints_reclaimed(), 0);
+        // Jumping past several boundaries reclaims every overflow entry,
+        // oldest first, instead of dropping them.
+        let evicted = sn.tick_with_reclaimed(700, || 2);
+        let stamps: Vec<Cycle> = evicted.iter().map(|c| c.taken_at).collect();
+        assert_eq!(stamps, vec![0, 100, 200, 300]);
+        assert_eq!(sn.checkpoints_reclaimed(), 4);
+        assert_eq!(sn.oldest_checkpoint(), 400);
+    }
+
+    #[test]
+    fn rollback_via_reconstructs_from_the_log_prefix() {
+        let mut sn: SafetyNet<u64> = SafetyNet::with_initial(cfg(), 0).unwrap();
+        for now in 1..=1000 {
+            sn.tick_with(now, || now);
+        }
+        // Error at 950 detected at 1000: recovery point is 800, and the
+        // reconstruction sees the whole surviving log up to it.
+        let (taken_at, replayed) = sn
+            .rollback_via(950, 1000, |entries, idx| {
+                assert_eq!(entries[idx].taken_at, 800);
+                entries[..=idx].iter().map(|c| c.state).sum::<u64>()
+            })
+            .expect("within the window");
+        assert_eq!(taken_at, 800);
+        assert_eq!(replayed, 700 + 800, "window holds 700..=1000, poison excluded");
+        assert_eq!(sn.rollbacks(), 1);
+        // Poisoned entries are gone, the cadence clock rewound.
+        assert_eq!(sn.recovery_point(u64::MAX, u64::MAX), Some(800));
+        assert_eq!(sn.next_checkpoint_at(), 900);
+        // Outside the window: the closure never runs, nothing changes.
+        let missed = sn.rollback_via(0, 5_000, |_, _| panic!("must not reconstruct"));
+        assert!(missed.is_none());
+        assert_eq!(sn.rollbacks(), 1);
     }
 
     #[test]

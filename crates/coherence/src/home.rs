@@ -142,6 +142,25 @@ pub struct HomeCtrl {
     legacy_strict_acks: bool,
     last_order: u64,
     now: Cycle,
+    /// Whether the memory image mutated since the flag was last taken
+    /// (incremental checkpointing: the memory part of a home is orders of
+    /// magnitude larger than the controller part, so it is logged
+    /// separately and only when a write actually landed).
+    mem_dirty: bool,
+}
+
+/// A captured image of one home's memory array (incremental
+/// checkpointing). Opaque outside this crate.
+#[derive(Clone, Debug)]
+pub struct HomeMemImage {
+    blocks: HashMap<BlockAddr, MemBlock>,
+}
+
+impl HomeMemImage {
+    /// Approximate serialized size of the image, in bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.blocks.len() * (dvmc_types::BLOCK_BYTES + 16)) as u64
+    }
 }
 
 impl HomeCtrl {
@@ -172,6 +191,7 @@ impl HomeCtrl {
             last_order: 0,
             cfg,
             now: 0,
+            mem_dirty: false,
         }
     }
 
@@ -195,6 +215,7 @@ impl HomeCtrl {
 
     /// Initializes a word of this home's memory (workload setup).
     pub fn poke_word(&mut self, addr: dvmc_types::WordAddr, value: u64) {
+        self.mem_dirty = true;
         let entry = self
             .memory
             .entry(addr.block())
@@ -445,6 +466,7 @@ impl HomeCtrl {
         };
         let m = self.memory.get_mut(&key)?;
         m.data.flip_bit(bit % 512);
+        self.mem_dirty = true;
         Some(key)
     }
 
@@ -494,8 +516,111 @@ impl HomeCtrl {
         }
     }
 
-    /// Advances the controller one cycle.
-    pub fn tick(&mut self, now: Cycle) {
+    /// Stamps the controller's clock without doing any work — exactly the
+    /// state change a tick performs on a quiescent, empty-sorter home.
+    /// Used by the event-scheduled kernel when skipping quiescent spans.
+    pub fn idle_stamp(&mut self, now: Cycle) {
+        self.now = now;
+        if let Some(o) = self.checker.as_mut().and_then(HomeChecker::obs_mut) {
+            o.set_now(now);
+        }
+    }
+
+    /// Watermark slack for the periodic sorter drain, in logical ticks
+    /// (see the drain commentary in [`tick`](Self::tick)).
+    fn drain_slack(&self) -> u16 {
+        match self.protocol {
+            Protocol::Directory => 64,
+            Protocol::Snooping => 512,
+        }
+    }
+
+    /// The earliest cycle at or after which the periodic watermark drain
+    /// could release a queued inform, given wall-clock `now`. Directory
+    /// only: its logical clock advances with the wall clock, so a queued
+    /// sorter is a future event source even on an otherwise quiescent
+    /// machine; snooping logical time only moves with address traffic,
+    /// which is an event source in its own right (`None` there, and when
+    /// nothing is queued). Conservative: possibly a logical tick early,
+    /// never later than the true drain cycle.
+    pub fn next_sorter_drain_at(&self, now: Cycle) -> Option<Cycle> {
+        if self.protocol != Protocol::Directory {
+            return None;
+        }
+        let oldest = self.checker.as_ref().and_then(HomeChecker::oldest_queued)?;
+        let slack = u64::from(self.drain_slack());
+        let logical_now = now >> self.cfg.lt_shift;
+        let behind = u64::from(Ts16::from_full(logical_now).0.wrapping_sub(oldest.0));
+        let remaining = slack.saturating_sub(behind);
+        Some((logical_now + remaining) << self.cfg.lt_shift)
+    }
+
+    /// Number of Inform-Epoch messages waiting in the epoch sorter.
+    pub fn queued(&self) -> usize {
+        self.checker.as_ref().map_or(0, HomeChecker::queued)
+    }
+
+    /// Takes (and clears) the memory-dirty flag (incremental
+    /// checkpointing).
+    pub fn take_mem_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.mem_dirty)
+    }
+
+    /// Captures the controller state with the memory array stripped out
+    /// (incremental checkpointing: the memory part is logged separately).
+    pub fn ctrl_image(&self) -> HomeCtrl {
+        let mut image = self.clone();
+        image.memory = HashMap::new();
+        image
+    }
+
+    /// Restores controller state from a [`ctrl_image`](Self::ctrl_image)
+    /// capture, keeping the current memory array in place.
+    pub fn restore_ctrl(&mut self, image: &HomeCtrl) {
+        let memory = std::mem::take(&mut self.memory);
+        *self = image.clone();
+        self.memory = memory;
+    }
+
+    /// Captures the memory array (incremental checkpointing).
+    pub fn mem_image(&self) -> HomeMemImage {
+        HomeMemImage {
+            blocks: self.memory.clone(),
+        }
+    }
+
+    /// Restores the memory array from a [`mem_image`](Self::mem_image)
+    /// capture.
+    pub fn restore_mem(&mut self, image: &HomeMemImage) {
+        self.memory = image.blocks.clone();
+    }
+
+    /// Approximate serialized size of the controller state (memory array
+    /// excluded), in bytes.
+    pub fn approx_ctrl_bytes(&self) -> u64 {
+        let queues = self.inbox.len()
+            + self.snoop_in.len()
+            + self.msg_out.len()
+            + self.out_delayed.len()
+            + self.blocked.values().map(VecDeque::len).sum::<usize>()
+            + self.deferred.values().map(VecDeque::len).sum::<usize>();
+        (std::mem::size_of::<Self>()
+            + self.dir.len() * 24
+            + self.busy.len() * (std::mem::size_of::<Txn>() + 16)
+            + queues * (dvmc_types::BLOCK_BYTES + 32)
+            + (self.snoop_owner.len() + self.awaiting_wb.len()) * 16
+            + self.queued() * 32) as u64
+    }
+
+    /// Approximate serialized size of the memory array, in bytes.
+    pub fn approx_mem_bytes(&self) -> u64 {
+        (self.memory.len() * (dvmc_types::BLOCK_BYTES + 16)) as u64
+    }
+
+    /// Advances the controller one cycle. Returns whether the periodic MET
+    /// scrub mutated checker state this cycle (incremental checkpointing:
+    /// a scrub can dirty an otherwise-quiescent home).
+    pub fn tick(&mut self, now: Cycle) -> bool {
         self.now = now;
         if let Some(o) = self.checker.as_mut().and_then(HomeChecker::obs_mut) {
             o.set_now(now);
@@ -525,10 +650,7 @@ impl HomeCtrl {
         // per coherence request (fast), the directory clock per 16
         // cycles, so the slack differs. Skip draining until the clock
         // clears the startup window so the subtraction cannot wrap.
-        let slack: u16 = match self.protocol {
-            Protocol::Directory => 64,
-            Protocol::Snooping => 512,
-        };
+        let slack: u16 = self.drain_slack();
         let logical_now = self.logical_now();
         if logical_now.0 >= slack {
             let watermark = Ts16(logical_now.0 - slack);
@@ -539,11 +661,13 @@ impl HomeCtrl {
             }
         }
         // MET stale-timestamp scrub, well within its quarter-window budget.
+        let mut scrub_mutated = false;
         if now.is_multiple_of(2048) {
             if let Some(chk) = self.checker.as_mut() {
-                chk.scrub(logical_now);
+                scrub_mutated = chk.scrub(logical_now);
             }
         }
+        scrub_mutated
     }
 
     /// Processes all remaining checker state (end of run).
@@ -568,6 +692,8 @@ impl HomeCtrl {
 
     fn mem_read(&mut self, addr: BlockAddr) -> Block {
         self.stats.mem_reads += 1;
+        // A read of an untouched block materializes its zero image.
+        self.mem_dirty |= !self.memory.contains_key(&addr);
         let m = self.memory.entry(addr).or_insert_with(MemBlock::zero);
         let (data, ok) = (m.data, m.data.hash() == m.ecc);
         if self.cfg.verify && !ok {
@@ -584,6 +710,7 @@ impl HomeCtrl {
 
     fn mem_write(&mut self, addr: BlockAddr, data: Block) {
         self.stats.mem_writes += 1;
+        self.mem_dirty = true;
         self.memory.insert(
             addr,
             MemBlock {
@@ -623,6 +750,7 @@ impl HomeCtrl {
             return;
         }
         let now = self.logical_now();
+        self.mem_dirty |= !self.memory.contains_key(&addr);
         let hash = self
             .memory
             .entry(addr)

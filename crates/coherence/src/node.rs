@@ -472,6 +472,36 @@ impl CacheNode {
         self.process_proc();
     }
 
+    /// Re-stamps the controller's clock as if it had ticked idly up to
+    /// `now` — exactly the state a quiescent [`tick`](Self::tick) leaves
+    /// behind (a quiescent tick only stamps clocks; the processing phases
+    /// find every queue empty). The event-scheduled kernel uses this to
+    /// skip runs of quiescent cycles without perturbing state.
+    pub fn idle_stamp(&mut self, now: Cycle) {
+        self.now = now;
+        if let Some(o) = self.cet.obs_mut() {
+            o.set_now(now);
+        }
+    }
+
+    /// Rough resident-state footprint in bytes (cache arrays, CET,
+    /// queues) — the checkpoint-cost accounting unit: what one full image
+    /// of this controller costs a snapshot or a delta log.
+    pub fn approx_state_bytes(&self) -> u64 {
+        let line = dvmc_types::BLOCK_BYTES as u64 + 16;
+        std::mem::size_of::<Self>() as u64
+            + (self.l1.len() + self.l2.len() + self.evicting.len()) as u64 * line
+            + self.cet.approx_bytes()
+            + (self.mshrs.len() * 96
+                + self.proc_in.len() * 24
+                + self.resp_out.len() * 24
+                + self.msg_out.len() * 80
+                + self.addr_out.len() * 24
+                + self.inbox.len() * 80
+                + self.snoop_in.len() * 32
+                + self.invalidated.len() * 8) as u64
+    }
+
     // ----- processor-side servicing ------------------------------------
 
     fn process_proc(&mut self) {
@@ -855,11 +885,16 @@ impl CacheNode {
     }
 
     /// Runs the CET scrub FIFO and emits Inform-Open-Epoch messages.
-    pub fn scrub(&mut self) {
+    /// Returns whether the scrub changed controller state (popped scrub
+    /// records and/or queued informs) — quiescent scrubs leave the node
+    /// bit-identical, which keeps it out of incremental checkpoints.
+    pub fn scrub(&mut self) -> bool {
         if !self.cfg.verify {
-            return;
+            return false;
         }
+        let fifo_before = self.cet.scrub_queue_len();
         let opens = self.cet.scrub_tick(self.logical_now());
+        let mutated = self.cet.scrub_queue_len() != fifo_before || !opens.is_empty();
         for open in opens {
             let block = open.addr;
             self.stats.informs_sent += 1;
@@ -869,6 +904,7 @@ impl CacheNode {
                 msg: Msg::Epoch(open.into()),
             });
         }
+        mutated
     }
 
     // ----- fills and victim handling ------------------------------------

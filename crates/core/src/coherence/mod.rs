@@ -190,15 +190,25 @@ impl HomeChecker {
     }
 
     /// Runs the MET stale-timestamp scrub (call at least every quarter
-    /// window of logical time).
-    pub fn scrub(&mut self, now: Ts16) {
+    /// window of logical time). Returns whether the scrub changed any
+    /// observable checker state — an end-time clamp, or the `MetScrub`
+    /// event recorded when an observability ring is attached — so callers
+    /// doing incremental checkpointing know whether this home dirtied
+    /// itself.
+    pub fn scrub(&mut self, now: Ts16) -> bool {
         self.note(CheckerEvent::MetScrub { at: now });
-        self.met.scrub(now);
+        self.met.scrub(now) | self.obs.is_some()
     }
 
     /// Number of queued (not yet processed) messages.
     pub fn queued(&self) -> usize {
         self.sorter.len()
+    }
+
+    /// Start time of the earliest queued message, if any (what the next
+    /// watermark drain would release first).
+    pub fn oldest_queued(&self) -> Option<Ts16> {
+        self.sorter.oldest_start()
     }
 }
 

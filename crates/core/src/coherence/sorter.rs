@@ -87,6 +87,12 @@ impl EpochSorter {
         self.items.len()
     }
 
+    /// Start time of the earliest queued message, if any (the next one a
+    /// watermark advance would release).
+    pub fn oldest_start(&self) -> Option<Ts16> {
+        self.peek_min_time()
+    }
+
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()

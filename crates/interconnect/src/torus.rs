@@ -144,6 +144,18 @@ impl<T> Torus<T> {
         }
     }
 
+    /// Approximate serialized size of the network state, in bytes
+    /// (incremental-checkpoint accounting).
+    pub fn approx_state_bytes(&self) -> u64 {
+        let queued = self.in_flight.len()
+            + self.delayed.len()
+            + self.inboxes.iter().map(VecDeque::len).sum::<usize>();
+        (std::mem::size_of::<Self>()
+            + self.link_free_at.len() * 8
+            + self.link_stats.len() * std::mem::size_of::<LinkStats>()
+            + queued * (std::mem::size_of::<T>() + 24)) as u64
+    }
+
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.inboxes.len()

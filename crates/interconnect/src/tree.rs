@@ -94,6 +94,15 @@ impl<T> BroadcastTree<T> {
         self.inboxes.len()
     }
 
+    /// Approximate serialized size of the network state, in bytes
+    /// (incremental-checkpoint accounting).
+    pub fn approx_state_bytes(&self) -> u64 {
+        let queued = self.pending.len()
+            + self.in_flight.len()
+            + self.inboxes.iter().map(VecDeque::len).sum::<usize>();
+        (std::mem::size_of::<Self>() + queued * (std::mem::size_of::<T>() + 24)) as u64
+    }
+
     /// Injects a request for ordered broadcast.
     pub fn send(&mut self, src: NodeId, payload: T, bytes: u32, _now: Cycle) {
         if self.drop_next {

@@ -128,6 +128,10 @@ struct RobEntry {
     class: OpClass,
     addr: WordAddr,
     store_value: u64,
+    /// Open-loop arrival stamp carried by the operation that completes a
+    /// service request (its final publish store); commit closes the
+    /// arrival→commit queueing-delay measurement.
+    arrived_at: Option<Cycle>,
     state: EState,
     committed: bool,
     vstate: VState,
@@ -203,6 +207,9 @@ pub struct Core {
     lsq_fault_armed: bool,
     stream_done: bool,
     now: Cycle,
+    /// Arrival→commit queueing delays closed since the last drain
+    /// (open-loop service latency; drained at window boundaries).
+    queue_delays: Vec<Cycle>,
     /// A requested consistency-model switch, applied at the next quiescent
     /// point (service mode switches models mid-run; see DESIGN.md §13).
     pending_model: Option<Model>,
@@ -240,6 +247,7 @@ impl Core {
             lsq_fault_armed: false,
             stream_done: false,
             now: 0,
+            queue_delays: Vec::new(),
             pending_model: None,
             cfg,
         }
@@ -360,6 +368,88 @@ impl Core {
     /// Memory operations retired (progress metric for watchdogs).
     pub fn retired_ops(&self) -> u64 {
         self.stats.retired_ops
+    }
+
+    /// Takes the arrival→commit queueing delays closed since the last
+    /// drain (open-loop service latency).
+    pub fn take_queue_delays(&mut self) -> Vec<Cycle> {
+        std::mem::take(&mut self.queue_delays)
+    }
+
+    /// Approximate serialized size of the core's architectural state, in
+    /// bytes (checkpoint accounting: queued entries are charged per item,
+    /// everything else at the struct's resident size).
+    pub fn approx_state_bytes(&self) -> u64 {
+        let queued = self.rob.len()
+            + self.wb.len()
+            + self.pending.len()
+            + self.recent_values.len()
+            + self.commit_log.len()
+            + self.queue_delays.len();
+        (std::mem::size_of::<Self>() + queued * 48) as u64
+    }
+
+    /// Whether a tick at `now` would leave the core bit-identical except
+    /// for its clock and decode-delay countdown — no decode, issue,
+    /// commit, retire, drain, or membar injection can happen. The
+    /// event-scheduled kernel may only skip cycles where every core is
+    /// inert.
+    pub fn is_inert_at(&self, now: Cycle) -> bool {
+        if self.is_done() {
+            return true;
+        }
+        self.rob.is_empty()
+            && self.wb.is_empty()
+            && self.pending.is_empty()
+            && self.pending_model.is_none()
+            && (self.stream_done || self.decode_delay > 0)
+            && !self.membar_due_at(now)
+    }
+
+    /// The earliest cycle at or after `now` at which this core can do
+    /// observable work, or `None` if the core is done and will never work
+    /// again. Exact for idle cores (the decode-delay countdown and the
+    /// membar-injection cadence are the only self-timed wake sources);
+    /// `now` for busy ones.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_done() {
+            return None;
+        }
+        if !self.rob.is_empty()
+            || !self.wb.is_empty()
+            || !self.pending.is_empty()
+            || self.pending_model.is_some()
+            || (self.decode_delay == 0 && !self.stream_done)
+        {
+            return Some(now);
+        }
+        // Idle: queues empty, stream not done (else is_done), counting
+        // down decode_delay. Wake when the countdown expires or the
+        // membar-injection cadence fires, whichever is earlier.
+        let mut at = now.saturating_add(u64::from(self.decode_delay));
+        if self.cfg.dvmc && self.cfg.membar_injection_period != 0 {
+            let due = self
+                .last_injection
+                .saturating_add(self.cfg.membar_injection_period);
+            at = at.min(due.max(now));
+        }
+        Some(at)
+    }
+
+    /// Applies the state change `k` consecutive inert ticks would have
+    /// made: the decode-delay countdown advances by `k`. The clock stamp
+    /// the skipped ticks would have left is reapplied by the next real
+    /// tick before any observable work.
+    pub fn catch_up(&mut self, k: u64) {
+        self.decode_delay = self
+            .decode_delay
+            .saturating_sub(u32::try_from(k).unwrap_or(u32::MAX));
+    }
+
+    fn membar_due_at(&self, now: Cycle) -> bool {
+        self.cfg.dvmc
+            && self.cfg.membar_injection_period != 0
+            && now.saturating_sub(self.last_injection) >= self.cfg.membar_injection_period
     }
 
     /// Completes a cache request previously emitted by [`tick`](Self::tick).
@@ -572,7 +662,10 @@ impl Core {
                     class,
                     addr,
                     store_value,
-                }) => self.push_entry(class, addr, store_value),
+                }) => {
+                    let arrived_at = self.stream.last_arrival();
+                    self.push_entry(class, addr, store_value, arrived_at);
+                }
                 Fetch::AwaitLast => {
                     // Nothing to await if no memory op was ever emitted.
                     if let Some(seq) = self.last_mem_seq {
@@ -594,7 +687,13 @@ impl Core {
         }
     }
 
-    fn push_entry(&mut self, class: OpClass, addr: WordAddr, store_value: u64) {
+    fn push_entry(
+        &mut self,
+        class: OpClass,
+        addr: WordAddr,
+        store_value: u64,
+        arrived_at: Option<Cycle>,
+    ) {
         let seq = self.next_seq;
         self.next_seq = seq.next();
         self.last_mem_seq = Some(seq);
@@ -615,6 +714,7 @@ impl Core {
             class,
             addr,
             store_value,
+            arrived_at,
             state,
             committed: false,
             vstate: VState::NotStarted,
@@ -642,7 +742,7 @@ impl Core {
         }
         self.last_injection = self.now;
         self.stats.injected_membars += 1;
-        self.push_entry(OpClass::Membar(MembarMask::ALL), WordAddr(0), 0);
+        self.push_entry(OpClass::Membar(MembarMask::ALL), WordAddr(0), 0, None);
     }
 
     // ----- execute -------------------------------------------------------
@@ -843,6 +943,9 @@ impl Core {
                 e.committed = true;
                 e.verify_done_at = self.now + self.cfg.verify_latency as u64;
                 e.vstate = VState::Done;
+                if let Some(a) = e.arrived_at {
+                    self.queue_delays.push(self.now.saturating_sub(a));
+                }
                 (e.seq, e.addr, e.store_value, e.value, e.gen)
             };
             if let Some(r) = self.reorder.as_mut() {

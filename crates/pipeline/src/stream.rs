@@ -102,6 +102,14 @@ pub trait InstrStream {
         self.next()
     }
 
+    /// The open-loop arrival cycle of the most recently emitted
+    /// instruction, if that instruction completes a timed request
+    /// (arrival→commit queueing-delay measurement). Closed-loop streams
+    /// have no arrival process and keep the default `None`.
+    fn last_arrival(&self) -> Option<Cycle> {
+        None
+    }
+
     /// Delivers the committed value of the awaited operation `seq`.
     fn deliver(&mut self, seq: SeqNum, value: u64);
 

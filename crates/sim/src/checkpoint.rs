@@ -1,0 +1,161 @@
+//! Checkpoint state carried by the backward-error-recovery log
+//! (DESIGN.md §14).
+//!
+//! The [`SafetyNet`](dvmc_ber::SafetyNet) log holds one
+//! [`MachineCheckpoint`] per interval. Three shapes exist:
+//!
+//! - [`MachineCheckpoint::Unarmed`]: BER coordination traffic is modelled
+//!   but recovery is off — there is nothing to restore.
+//! - [`MachineCheckpoint::Whole`]: a deep clone of the entire machine
+//!   ([`Snapshot`]), the original scheme. Capture cost is O(machine) per
+//!   interval no matter how little happened.
+//! - [`MachineCheckpoint::Delta`]: a log-based incremental checkpoint.
+//!   Each interval captures only the parts that may have mutated since
+//!   the previous capture (per the dirty-part flags the cluster and the
+//!   system maintain), plus a small always-captured [`Misc`] record.
+//!   Rollback reconstructs the machine by undo-replay over the log: for
+//!   every part, restore the newest image at or before the recovery
+//!   point — falling back to the base snapshot — and catch idle cores up
+//!   over the uncaptured (provably inert) span.
+//!
+//! When the log evicts its oldest delta to make room, the delta is
+//! *folded* into the base snapshot ([`Delta::fold_into`]) so the base
+//! always reflects the machine just before the oldest retained entry.
+
+use crate::system::Snapshot;
+use dvmc_coherence::{AddrReq, CacheNode, HomeCtrl, HomeMemImage, Msg};
+use dvmc_interconnect::{BroadcastTree, Torus};
+use dvmc_pipeline::Core;
+use dvmc_types::rng::DetRng;
+use dvmc_types::{Cycle, NodeId};
+
+/// Small, cheap state that mutates nearly every cycle and therefore rides
+/// in **every** delta rather than being dirty-tracked: the fault-injection
+/// RNG, the watchdog progress table, and the bandwidth-accounting
+/// counters.
+#[derive(Clone)]
+pub(crate) struct Misc {
+    pub rng: DetRng,
+    pub progress: Vec<(u64, Cycle)>,
+    pub checker_bytes: u64,
+    pub ber_bytes: u64,
+}
+
+/// One incremental checkpoint: the machine parts that may have mutated
+/// since the previous capture, each tagged with its node index.
+#[derive(Clone)]
+pub(crate) struct Delta {
+    pub cores: Vec<(usize, Core)>,
+    pub nodes: Vec<(usize, CacheNode)>,
+    pub home_ctrls: Vec<(usize, HomeCtrl)>,
+    pub home_mems: Vec<(usize, HomeMemImage)>,
+    pub data_net: Option<Torus<Msg>>,
+    pub addr_net: Option<Option<BroadcastTree<AddrReq>>>,
+    pub misc: Misc,
+}
+
+impl Delta {
+    /// An empty delta (nothing dirty) carrying the given misc record —
+    /// the shape of a checkpoint over a fully quiescent interval.
+    pub fn empty(misc: Misc) -> Self {
+        Delta {
+            cores: Vec::new(),
+            nodes: Vec::new(),
+            home_ctrls: Vec::new(),
+            home_mems: Vec::new(),
+            data_net: None,
+            addr_net: None,
+            misc,
+        }
+    }
+
+    /// Approximate serialized size of this delta, in bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        let cores: u64 = self.cores.iter().map(|(_, c)| c.approx_state_bytes()).sum();
+        let nodes: u64 = self.nodes.iter().map(|(_, n)| n.approx_state_bytes()).sum();
+        let ctrls: u64 = self.home_ctrls.iter().map(|(_, h)| h.approx_ctrl_bytes()).sum();
+        let mems: u64 = self.home_mems.iter().map(|(_, m)| m.approx_bytes()).sum();
+        let data = self.data_net.as_ref().map_or(0, Torus::approx_state_bytes);
+        let addr = self
+            .addr_net
+            .as_ref()
+            .and_then(Option::as_ref)
+            .map_or(0, BroadcastTree::approx_state_bytes);
+        let misc = (std::mem::size_of::<Misc>() + self.misc.progress.len() * 16) as u64;
+        cores + nodes + ctrls + mems + data + addr + misc
+    }
+
+    /// Number of captured parts (cost accounting).
+    pub fn parts(&self) -> u64 {
+        (self.cores.len()
+            + self.nodes.len()
+            + self.home_ctrls.len()
+            + self.home_mems.len()
+            + usize::from(self.data_net.is_some())
+            + usize::from(self.addr_net.is_some())) as u64
+    }
+
+    /// Folds this (just-evicted, oldest) delta into `base`, which then
+    /// reflects the machine at this delta's capture time `taken_at`.
+    /// `base_core_at[i]` records the capture time of each base core image
+    /// (rollback catches cores up from there).
+    pub fn fold_into(&self, base: &mut Snapshot, base_core_at: &mut [Cycle], taken_at: Cycle) {
+        for (i, core) in &self.cores {
+            base.cores[*i] = core.clone();
+            base_core_at[*i] = taken_at;
+        }
+        for (i, node) in &self.nodes {
+            base.cluster.restore_node(NodeId(*i as u8), node);
+        }
+        for (i, ctrl) in &self.home_ctrls {
+            base.cluster.restore_home_ctrl(NodeId(*i as u8), ctrl);
+        }
+        for (i, mem) in &self.home_mems {
+            base.cluster.restore_home_mem(NodeId(*i as u8), mem);
+        }
+        if let Some(net) = &self.data_net {
+            base.cluster.restore_data_net(net);
+        }
+        if let Some(net) = &self.addr_net {
+            base.cluster.restore_addr_net(net);
+        }
+        base.rng = self.misc.rng.clone();
+        base.progress = self.misc.progress.clone();
+        base.cluster
+            .set_traffic_counters(self.misc.checker_bytes, self.misc.ber_bytes);
+    }
+}
+
+/// What one entry of the recovery log holds.
+#[derive(Clone)]
+pub(crate) enum MachineCheckpoint {
+    /// BER timing modelled, recovery off: nothing restorable.
+    Unarmed,
+    /// A deep clone of the whole machine.
+    Whole(Box<Snapshot>),
+    /// A log-based incremental checkpoint over a base snapshot.
+    Delta(Box<Delta>),
+}
+
+impl MachineCheckpoint {
+    /// Approximate serialized size, in bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            MachineCheckpoint::Unarmed => 0,
+            MachineCheckpoint::Whole(snap) => snap.approx_bytes(),
+            MachineCheckpoint::Delta(delta) => delta.approx_bytes(),
+        }
+    }
+
+    /// Number of machine parts this checkpoint captured (cost accounting;
+    /// a whole snapshot captures everything: per node a core, a cache
+    /// controller, a home controller, and a home memory, plus both
+    /// networks).
+    pub fn parts(&self) -> u64 {
+        match self {
+            MachineCheckpoint::Unarmed => 0,
+            MachineCheckpoint::Whole(snap) => snap.cores.len() as u64 * 4 + 2,
+            MachineCheckpoint::Delta(delta) => delta.parts(),
+        }
+    }
+}

@@ -65,6 +65,35 @@ impl Protection {
     }
 }
 
+/// How the simulation loop advances time (DESIGN.md §14).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum KernelMode {
+    /// Tick every cycle, quiescent or not — the original loop. Kept as
+    /// the reference implementation the event kernel is regressed
+    /// against.
+    Legacy,
+    /// Event-scheduled: every component reports the next cycle at which
+    /// it can do observable work; the scheduler jumps straight to the
+    /// minimum, skipping quiescent cycles. Bit-identical to `Legacy` by
+    /// construction (the equivalence suite enforces it), an order of
+    /// magnitude faster on quiet open-loop workloads.
+    #[default]
+    Event,
+}
+
+/// How BER checkpoints capture machine state (DESIGN.md §14).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CheckpointMode {
+    /// Deep-clone the whole machine every interval — the original
+    /// scheme. O(machine) per checkpoint regardless of activity.
+    Snapshot,
+    /// Log-based incremental checkpoints: capture only the parts dirtied
+    /// since the previous interval; rollback reconstructs the machine by
+    /// undo-replay over the delta log. O(activity) per checkpoint.
+    #[default]
+    DeltaLog,
+}
+
 /// How hard the system tries before declaring an error unrecoverable.
 ///
 /// BER recovers transient faults by rolling back and replaying; a
@@ -183,6 +212,10 @@ pub struct SystemConfig {
     /// leaves every checker's event sink detached (the default — the
     /// checkers' hot paths then pay a single `Option` branch).
     pub obs_capacity: usize,
+    /// How the simulation loop advances time.
+    pub kernel: KernelMode,
+    /// How BER checkpoints capture machine state.
+    pub checkpoint: CheckpointMode,
 }
 
 impl SystemConfig {
@@ -270,6 +303,8 @@ pub struct SystemBuilder {
     sorter_capacity: usize,
     record_commits: bool,
     obs_capacity: usize,
+    kernel: KernelMode,
+    checkpoint: CheckpointMode,
 }
 
 impl Default for SystemBuilder {
@@ -295,6 +330,8 @@ impl Default for SystemBuilder {
             sorter_capacity: 256,
             record_commits: false,
             obs_capacity: 0,
+            kernel: KernelMode::default(),
+            checkpoint: CheckpointMode::default(),
         }
     }
 }
@@ -440,6 +477,21 @@ impl SystemBuilder {
         self
     }
 
+    /// Selects how the simulation loop advances time (the event-scheduled
+    /// kernel is the default; `Legacy` is the every-cycle reference).
+    pub fn kernel(mut self, mode: KernelMode) -> Self {
+        self.kernel = mode;
+        self
+    }
+
+    /// Selects how BER checkpoints capture machine state (log-based
+    /// incremental deltas by default; `Snapshot` deep-clones the whole
+    /// machine every interval).
+    pub fn checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
+        self.checkpoint = mode;
+        self
+    }
+
     /// The validated [`SystemConfig`] this builder describes, without
     /// building the system — campaign sweeps expand specs into configs
     /// first and construct systems later, on worker threads.
@@ -469,6 +521,8 @@ impl SystemBuilder {
             sorter_capacity: self.sorter_capacity,
             record_commits: self.record_commits,
             obs_capacity: self.obs_capacity,
+            kernel: self.kernel,
+            checkpoint: self.checkpoint,
         };
         cfg.validate()?;
         Ok(cfg)

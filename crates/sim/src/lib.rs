@@ -15,16 +15,20 @@
 //! cycle loop, [`RunReport`] for results, and [`perturbed_runs`] for the
 //! §5 repetition methodology.
 
+mod checkpoint;
 pub mod config;
 pub mod report;
 pub mod system;
 
-pub use config::{ConfigError, Protection, RecoveryPolicy, SystemBuilder, SystemConfig};
+pub use config::{
+    CheckpointMode, ConfigError, KernelMode, Protection, RecoveryPolicy, SystemBuilder,
+    SystemConfig,
+};
 pub use dvmc_ber::{BerConfigError, SafetyNetConfig};
 pub use dvmc_coherence::Protocol;
 pub use report::{
-    mean_std, percentile, Detection, EpisodeReport, RecoveryOutcome, RecoveryReport, RunReport,
-    ServiceReport, ServiceStop, WindowSnapshot,
+    mean_std, percentile, CheckpointStats, Detection, EpisodeReport, RecoveryOutcome,
+    RecoveryReport, RunReport, ServiceReport, ServiceStop, WindowSnapshot,
 };
 pub use system::System;
 

@@ -142,6 +142,13 @@ pub struct WindowSnapshot {
     pub crc_checks: u64,
     /// Cache epochs closed (delta).
     pub epoch_closes: u64,
+    /// Arrival→commit queueing delays closed this window (count). Only
+    /// open-loop streams produce these; zero for closed-loop workloads.
+    pub queue_delay_count: u64,
+    /// Nearest-rank p50 of those delays, in cycles (0 when none closed).
+    pub queue_delay_p50: Cycle,
+    /// Nearest-rank p99 of those delays, in cycles (0 when none closed).
+    pub queue_delay_p99: Cycle,
 }
 
 /// Why a service-mode run stopped.
@@ -208,6 +215,31 @@ pub fn percentile(samples: &[Cycle], p: u32) -> Option<Cycle> {
     Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
+/// Checkpoint and rollback cost counters (DESIGN.md §14). All costs are
+/// approximate serialized bytes / cycle counts, deterministic across
+/// kernel modes for a given checkpoint mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CheckpointStats {
+    /// Checkpoints captured (whole snapshots or deltas).
+    pub snapshots_taken: u64,
+    /// Approximate bytes of checkpoint state logged.
+    pub bytes_logged: u64,
+    /// Machine parts captured across all checkpoints (a whole snapshot
+    /// counts every part; a delta only what was dirty).
+    pub parts_captured: u64,
+    /// Evicted deltas folded into the base snapshot (delta-log mode).
+    pub deltas_folded: u64,
+    /// Rollbacks performed (recovery plus bench-forced).
+    pub rollbacks: u64,
+    /// Machine parts restored across all rollbacks (cores, cache
+    /// controllers, home controllers, memory arrays, networks).
+    pub parts_restored: u64,
+    /// Cycles of inert core history reconstructed by undo-replay catch-up
+    /// during delta-log rollbacks (cost of not having captured clean
+    /// cores every interval).
+    pub undo_replay_cycles: u64,
+}
+
 /// The result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -255,6 +287,8 @@ pub struct RunReport {
     /// the consistency oracle (`dvmc_consistency::oracle`); empty unless
     /// the configuration set `record_commits`.
     pub commit_logs: Vec<Vec<CommitRecord>>,
+    /// Checkpoint and rollback cost counters (zeroed when BER is off).
+    pub checkpoint: CheckpointStats,
 }
 
 impl RunReport {

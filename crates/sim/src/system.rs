@@ -1,12 +1,13 @@
 //! The full system: cores + coherent memory system + checkers + BER +
 //! fault injection, advanced cycle by cycle.
 
-use crate::config::SystemConfig;
+use crate::checkpoint::{Delta, MachineCheckpoint, Misc};
+use crate::config::{CheckpointMode, KernelMode, SystemConfig};
 use crate::report::{
-    Detection, EpisodeReport, RecoveryOutcome, RecoveryReport, RunReport, ServiceReport,
-    ServiceStop, WindowSnapshot,
+    percentile, CheckpointStats, Detection, EpisodeReport, RecoveryOutcome, RecoveryReport,
+    RunReport, ServiceReport, ServiceStop, WindowSnapshot,
 };
-use dvmc_ber::SafetyNet;
+use dvmc_ber::{Checkpoint, SafetyNet};
 use dvmc_coherence::Cluster;
 use dvmc_consistency::Model;
 use dvmc_core::{
@@ -25,14 +26,24 @@ use std::collections::VecDeque;
 /// microarchitectural state of every core (ROBs, write buffers, checkers,
 /// instruction streams), the whole memory system (caches, directories,
 /// in-flight interconnect traffic, the cluster clock), the
-/// fault-injection RNG, and the watchdog's progress clocks. SafetyNet
-/// checkpoints carry one of these when recovery is armed.
+/// fault-injection RNG, and the watchdog's progress clocks. Whole-machine
+/// checkpoints ([`crate::config::CheckpointMode::Snapshot`]) carry one of
+/// these per interval; the delta log keeps one as its *base* image.
 #[derive(Clone)]
-struct Snapshot {
-    cores: Vec<Core>,
-    cluster: Cluster,
-    rng: DetRng,
-    progress: Vec<(u64, Cycle)>,
+pub(crate) struct Snapshot {
+    pub(crate) cores: Vec<Core>,
+    pub(crate) cluster: Cluster,
+    pub(crate) rng: DetRng,
+    pub(crate) progress: Vec<(u64, Cycle)>,
+}
+
+impl Snapshot {
+    /// Approximate serialized size, in bytes (checkpoint accounting).
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        self.cores.iter().map(Core::approx_state_bytes).sum::<u64>()
+            + self.cluster.approx_state_bytes()
+            + (std::mem::size_of::<DetRng>() + self.progress.len() * 16) as u64
+    }
 }
 
 /// A complete simulated machine.
@@ -40,10 +51,25 @@ pub struct System {
     cfg: SystemConfig,
     cores: Vec<Core>,
     cluster: Cluster,
-    /// Checkpoint log; payloads are `Some` only when recovery is armed
-    /// (the deep clones are not free, and the perf experiments model BER
-    /// timing without them).
-    ber: Option<SafetyNet<Option<Snapshot>>>,
+    /// Checkpoint log; payloads are [`MachineCheckpoint::Unarmed`] when
+    /// recovery is off (the captures are not free, and the perf
+    /// experiments model BER timing without them).
+    ber: Option<SafetyNet<MachineCheckpoint>>,
+    /// Delta-log mode: the base image the oldest retained delta applies
+    /// on top of. `None` in whole-snapshot mode or when recovery is off.
+    base: Option<Box<Snapshot>>,
+    /// Delta-log mode: the capture cycle of each core image currently in
+    /// the base (rollback undo-replays idle cores forward from here).
+    base_core_at: Vec<Cycle>,
+    /// Which cores may have mutated since the last delta capture
+    /// (conservative, like the cluster's dirty-part flags).
+    core_dirty: Vec<bool>,
+    /// Cycles actually simulated by [`tick`](Self::tick).
+    ticks_executed: u64,
+    /// Quiescent cycles skipped by the event-scheduled kernel.
+    ticks_skipped: u64,
+    /// Checkpoint/rollback cost counters.
+    ckpt_stats: CheckpointStats,
     rng: DetRng,
     violations: Vec<Violation>,
     fault_injected_at: Option<Cycle>,
@@ -176,10 +202,17 @@ impl System {
         let mut pending: Vec<FaultPlan> = cfg.fault.into_iter().chain(cfg.storm.iter().copied()).collect();
         pending.sort_by_key(|p| p.at_cycle);
         let pending_faults: VecDeque<FaultPlan> = pending.into();
+        let nodes = cfg.nodes;
         let mut sys = System {
             cores,
             cluster,
             ber: None,
+            base: None,
+            base_core_at: vec![0; nodes],
+            core_dirty: vec![true; nodes],
+            ticks_executed: 0,
+            ticks_skipped: 0,
+            ckpt_stats: CheckpointStats::default(),
             rng: det_rng(derive_seed(cfg.workload.seed, 0xFA17)),
             violations: Vec::new(),
             fault_injected_at: None,
@@ -207,16 +240,41 @@ impl System {
             cfg,
         };
         if sys.cfg.protection.ber {
-            // The initial time-0 checkpoint snapshots the pristine system
+            // The initial time-0 checkpoint captures the pristine system
             // when recovery is armed, so even an error in the very first
-            // interval has a restore point.
-            let initial = sys.cfg.recovery.is_some().then(|| sys.snapshot());
+            // interval has a restore point. In delta-log mode the pristine
+            // machine becomes the base image and entry 0 is an empty delta
+            // over it.
+            let initial = match (sys.cfg.recovery.is_some(), sys.cfg.checkpoint) {
+                (false, _) => MachineCheckpoint::Unarmed,
+                (true, CheckpointMode::Snapshot) => {
+                    MachineCheckpoint::Whole(Box::new(sys.snapshot()))
+                }
+                (true, CheckpointMode::DeltaLog) => {
+                    sys.base = Some(Box::new(sys.snapshot()));
+                    sys.cluster.clear_dirty();
+                    sys.core_dirty.fill(false);
+                    MachineCheckpoint::Delta(Box::new(Delta::empty(sys.misc_image())))
+                }
+            };
             sys.ber = Some(
                 SafetyNet::with_initial(sys.cfg.ber, initial)
                     .expect("SystemConfig::validate vetted the BER config"),
             );
         }
         sys
+    }
+
+    /// The always-captured miscellaneous delta part: cheap state that
+    /// mutates nearly every cycle, so dirty-tracking it would be pure
+    /// overhead.
+    fn misc_image(&self) -> Misc {
+        Misc {
+            rng: self.rng.clone(),
+            progress: self.progress.clone(),
+            checker_bytes: self.cluster.checker_bytes(),
+            ber_bytes: self.cluster.ber_bytes(),
+        }
     }
 
     /// Deep-copies the rollback-relevant machine state.
@@ -242,27 +300,28 @@ impl System {
     /// Advances one cycle.
     pub fn tick(&mut self) {
         let now = self.cluster.now();
+        self.ticks_executed += 1;
         // BER checkpointing and its coordination traffic. Runs *before*
         // fault injection so a checkpoint taken the cycle the fault lands
         // never embeds it (`recovery_point` admits checkpoints with
         // `taken_at <= error_time`; the reorder is behaviourally neutral
         // otherwise — the injection RNG only advances once the fault is
         // due, and BER traffic is excluded from network faults). The
-        // coordination bytes are sent inside the snapshot closure so the
-        // snapshot includes them and a restored run resumes exactly after
-        // the checkpoint.
+        // coordination bytes are sent inside the capture closure so the
+        // checkpoint includes them and a restored run resumes exactly
+        // after the checkpoint.
         if let Some(mut ber) = self.ber.take() {
             let bytes = ber.config().coordination_bytes;
             let nodes = self.cfg.nodes;
-            let with_state = self.cfg.recovery.is_some();
-            ber.tick_with(now, || {
+            let reclaimed = ber.tick_with_reclaimed(now, || {
                 for i in 1..nodes {
                     self.cluster.send_ber(nid(i), NodeId(0), bytes);
                     self.cluster.send_ber(NodeId(0), nid(i), bytes);
                 }
-                with_state.then(|| self.snapshot())
+                self.checkpoint_payload()
             });
             self.ber = Some(ber);
+            self.fold_reclaimed(reclaimed);
         }
         self.maybe_inject_fault(now);
         // Cores interact with their caches. Invalidations are noted
@@ -272,9 +331,16 @@ impl System {
         for (i, core) in self.cores.iter_mut().enumerate() {
             let id = nid(i);
             let inv = self.cluster.drain_invalidated(id);
+            if !inv.is_empty() {
+                self.core_dirty[i] = true;
+            }
             core.note_invalidations(&inv);
             while let Some(resp) = self.cluster.pop_resp(id) {
+                self.core_dirty[i] = true;
                 core.deliver(resp);
+            }
+            if !core.is_inert_at(now) {
+                self.core_dirty[i] = true;
             }
             for req in core.tick(now) {
                 self.cluster.submit(id, req);
@@ -301,6 +367,67 @@ impl System {
         }
     }
 
+    /// Builds this interval's checkpoint payload. Called from inside the
+    /// BER capture closure, after the coordination traffic was sent (so
+    /// the captured network includes it, exactly like the original
+    /// whole-snapshot scheme).
+    fn checkpoint_payload(&mut self) -> MachineCheckpoint {
+        if self.cfg.recovery.is_none() {
+            return MachineCheckpoint::Unarmed;
+        }
+        self.ckpt_stats.snapshots_taken += 1;
+        let payload = match self.cfg.checkpoint {
+            CheckpointMode::Snapshot => MachineCheckpoint::Whole(Box::new(self.snapshot())),
+            CheckpointMode::DeltaLog => MachineCheckpoint::Delta(Box::new(self.capture_delta())),
+        };
+        self.ckpt_stats.bytes_logged += payload.approx_bytes();
+        self.ckpt_stats.parts_captured += payload.parts();
+        payload
+    }
+
+    /// Captures every part dirtied since the previous capture (plus the
+    /// always-captured misc record) and clears the dirty flags.
+    fn capture_delta(&mut self) -> Delta {
+        let dirty = self.cluster.dirty_parts();
+        let mut delta = Delta::empty(self.misc_image());
+        for i in 0..self.cfg.nodes {
+            if self.core_dirty[i] {
+                delta.cores.push((i, self.cores[i].clone()));
+            }
+            if dirty.nodes[i] {
+                delta.nodes.push((i, self.cluster.node_image(nid(i))));
+            }
+            if dirty.homes[i] {
+                delta.home_ctrls.push((i, self.cluster.home_ctrl_image(nid(i))));
+            }
+            if dirty.home_mems[i] {
+                delta.home_mems.push((i, self.cluster.home_mem_image(nid(i))));
+            }
+        }
+        if dirty.data_net {
+            delta.data_net = Some(self.cluster.data_net_image());
+        }
+        if dirty.addr_net {
+            delta.addr_net = Some(self.cluster.addr_net_image());
+        }
+        self.cluster.clear_dirty();
+        self.core_dirty.fill(false);
+        delta
+    }
+
+    /// Folds checkpoints the log just evicted into the delta-log base, so
+    /// the base always reflects the machine at the oldest retained entry's
+    /// predecessor. Evictions arrive oldest-first.
+    fn fold_reclaimed(&mut self, reclaimed: Vec<Checkpoint<MachineCheckpoint>>) {
+        for cp in reclaimed {
+            if let MachineCheckpoint::Delta(delta) = cp.state {
+                let base = self.base.as_mut().expect("delta log always has a base");
+                delta.fold_into(base, &mut self.base_core_at, cp.taken_at);
+                self.ckpt_stats.deltas_folded += 1;
+            }
+        }
+    }
+
     /// Drains each core's commit log (one [`CommitRecord`] per committed
     /// memory op). Empty unless the configuration set `record_commits`;
     /// used by the litmus conformance harness to observe the values loads
@@ -308,6 +435,7 @@ impl System {
     ///
     /// [`CommitRecord`]: dvmc_consistency::CommitRecord
     pub fn commit_logs(&mut self) -> Vec<Vec<dvmc_consistency::CommitRecord>> {
+        self.core_dirty.fill(true);
         self.cores.iter_mut().map(Core::take_commit_log).collect()
     }
 
@@ -360,6 +488,21 @@ impl System {
                 }
             }
         }
+        let k = self.kernel_stats();
+        let c = self.ckpt_stats;
+        let _ = writeln!(
+            out,
+            "kernel: executed={} skipped={} | checkpoints: taken={} bytes={} \
+             folded={} rollbacks={} parts_restored={} undo_replay={}",
+            k.0,
+            k.1,
+            c.snapshots_taken,
+            c.bytes_logged,
+            c.deltas_folded,
+            c.rollbacks,
+            c.parts_restored,
+            c.undo_replay_cycles,
+        );
         out
     }
 
@@ -421,6 +564,130 @@ impl System {
     /// Whether any fault was or will be injected this run.
     fn fault_scheduled(&self) -> bool {
         self.cfg.fault.is_some() || !self.cfg.storm.is_empty()
+    }
+
+    // ----- event-scheduled kernel (DESIGN.md §14) -------------------------
+
+    /// The earliest cycle at or after `now` at which the machine can do
+    /// observable work or a post-tick check can fire, or `None` when
+    /// nothing will ever happen again. Every candidate is conservative
+    /// (may be earlier than the real next event, never later), so the
+    /// scheduler stays exact: a pinned cycle that turns out quiet simply
+    /// ticks once for nothing.
+    ///
+    /// The run loops check their conditions *after* each tick, at
+    /// `tick-cycle + 1`; the pins below are stated in tick cycles, hence
+    /// the off-by-ones (e.g. an age-out that fires at post-tick time
+    /// `t + window + 1` needs tick cycle `t + window` executed).
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut best: Option<Cycle> = None;
+        let mut pin = |c: Cycle| {
+            let c = c.max(now);
+            best = Some(best.map_or(c, |b: Cycle| b.min(c)));
+        };
+        for core in &self.cores {
+            if let Some(t) = core.next_event_at(now) {
+                pin(t);
+            }
+        }
+        // In-flight coherence traffic keeps every cycle busy.
+        if !self.cluster.is_quiescent() {
+            pin(now);
+        }
+        // A queued epoch sorter drains against directory logical time,
+        // which advances with the wall clock, so pin the (conservatively
+        // estimated) cycle its watermark first overtakes the oldest queued
+        // start; under snooping, logical time only moves with
+        // address-network traffic (already pinned via quiescence).
+        if let Some(t) = self.cluster.next_sorter_drain_at(now) {
+            pin(t);
+        }
+        // Periodic checker scrubs: CET every `scrub_period` cycles, MET
+        // every 2× that — pinning each CET boundary covers both.
+        pin(now.next_multiple_of(self.cluster.scrub_period().max(1)));
+        // The BER checkpoint cadence.
+        if let Some(ber) = &self.ber {
+            pin(ber.next_checkpoint_at());
+        }
+        // The next scheduled fault. A due-but-unsatisfied plan retries
+        // every cycle (and draws the RNG each attempt), so it pins `now`.
+        if let Some(front) = self.pending_faults.front() {
+            pin(front.at_cycle);
+        }
+        // Per-core hang watchdogs: tick() flags a hang at executed cycle
+        // `last_progress + watchdog + 1` (its check uses the pre-increment
+        // clock).
+        for (i, core) in self.cores.iter().enumerate() {
+            if !core.is_done() {
+                pin(self.progress[i].1 + self.cfg.watchdog_cycles + 1);
+            }
+        }
+        // A detected episode closes after ticking its clean-past cycle;
+        // once `now` passes it, every cycle is a close candidate.
+        if let Some(ep) = &self.episode {
+            if ep.detected_at.is_some() {
+                pin(ep.clean_after);
+            }
+        }
+        // Outstanding transients age out as masked at `t + window`.
+        if self.outstanding.iter().any(|(p, _)| p.fault.is_transient()) {
+            let window = self.ber.as_ref().map_or_else(
+                || self.cfg.ber.recovery_window(),
+                |b| b.config().recovery_window(),
+            );
+            for &(p, t) in &self.outstanding {
+                if p.fault.is_transient() {
+                    pin(t.saturating_add(window));
+                }
+            }
+        }
+        // Service-window boundaries emit at post-tick `next_boundary`.
+        if let Some(svc) = &self.service {
+            pin(svc.next_boundary.saturating_sub(1));
+        }
+        best
+    }
+
+    /// Event-scheduled kernel: jumps from the current cycle to the next
+    /// event (capped at `cap`), applying exactly the state changes the
+    /// legacy kernel's quiescent ticks would have made — a clock catch-up
+    /// on every core and an idle re-stamp of the memory system. No-op
+    /// under [`KernelMode::Legacy`] or when something can happen now.
+    fn advance_quiescent(&mut self, cap: Cycle) {
+        if self.cfg.kernel != KernelMode::Event {
+            return;
+        }
+        let now = self.now();
+        if now >= cap {
+            return;
+        }
+        let target = self.next_event_at(now).map_or(cap, |t| t.min(cap));
+        if target <= now {
+            return;
+        }
+        let k = target - now;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            debug_assert!(core.is_inert_at(now), "skipping a non-inert core");
+            core.catch_up(k);
+            if core.is_done() {
+                // The legacy loop restamps a finished core's progress
+                // clock every tick; the last skipped cycle is target - 1.
+                self.progress[i] = (core.retired_ops(), target - 1);
+            }
+        }
+        self.cluster.advance_to(target);
+        self.ticks_skipped += k;
+    }
+
+    /// `(executed, skipped)` cycle counts — how much work the
+    /// event-scheduled kernel actually did versus jumped over.
+    pub fn kernel_stats(&self) -> (u64, u64) {
+        (self.ticks_executed, self.ticks_skipped)
+    }
+
+    /// Checkpoint/rollback cost counters accumulated so far.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.ckpt_stats
     }
 
     fn maybe_inject_fault(&mut self, now: Cycle) {
@@ -507,6 +774,16 @@ impl System {
                 .is_some(),
         };
         if took {
+            // Core-targeted faults mutate core state behind the normal
+            // tick-path dirty marking.
+            if let Fault::WbDropStore { node }
+            | Fault::WbReorderStores { node }
+            | Fault::WbCorruptValue { node }
+            | Fault::WbAddressFlip { node }
+            | Fault::LsqWrongForward { node } = plan.fault
+            {
+                self.core_dirty[node.index()] = true;
+            }
             self.fault_injected_at = Some(now);
             self.last_injected = Some(plan);
             self.total_injected += 1;
@@ -555,6 +832,7 @@ impl System {
             if self.hung || self.all_done() {
                 break;
             }
+            self.advance_quiescent(limit);
         }
         if self.recovery_attempts > 0
             && !self.unrecoverable
@@ -579,6 +857,7 @@ impl System {
     /// active model at every window boundary so a rolled-back switch is
     /// simply requested again.
     pub fn switch_model(&mut self, model: Model) {
+        self.core_dirty.fill(true);
         for core in &mut self.cores {
             core.request_model_switch(model);
         }
@@ -666,6 +945,7 @@ impl System {
             }
             self.maybe_close_episode(now);
             self.emit_windows(now, on_window);
+            self.advance_quiescent(until);
         };
         if stop != ServiceStop::Horizon {
             if let Some(svc) = self.service.as_mut() {
@@ -705,6 +985,7 @@ impl System {
                     continue;
                 }
                 self.maybe_close_episode(now);
+                self.advance_quiescent(deadline);
             }
         }
         let now = self.now();
@@ -852,6 +1133,15 @@ impl System {
             closed.iter().filter_map(EpisodeReport::recovery_latency).collect();
         let m = self.obs_metrics();
         let delta = svc.metrics_window.delta(&m);
+        // Open-loop queueing delay (arrival -> commit), drained per core.
+        let mut delays: Vec<Cycle> = Vec::new();
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let d = core.take_queue_delays();
+            if !d.is_empty() {
+                self.core_dirty[i] = true;
+                delays.extend(d);
+            }
+        }
         let snap = WindowSnapshot {
             start: svc.next_boundary - svc.window,
             end: svc.next_boundary,
@@ -870,6 +1160,9 @@ impl System {
             informs: delta.informs_enqueued,
             crc_checks: delta.crc_checks,
             epoch_closes: delta.epoch_closes,
+            queue_delay_count: delays.len() as u64,
+            queue_delay_p50: percentile(&delays, 50).unwrap_or(0),
+            queue_delay_p99: percentile(&delays, 99).unwrap_or(0),
         };
         svc.last_retired = retired;
         svc.last_requests = requests;
@@ -944,22 +1237,29 @@ impl System {
             self.unrecoverable = true;
             return false;
         }
-        let Some(cp) = self
-            .ber
-            .as_mut()
-            .and_then(|b| b.rollback_to(injected_at, now))
-        else {
+        let Some(mut ber) = self.ber.take() else {
+            self.unrecoverable = true;
+            return false;
+        };
+        // The reconstruction closure rebuilds the machine directly from
+        // the log entries (whole-snapshot restore or delta undo-replay),
+        // returning whether the recovery point carried restorable state.
+        let rolled = ber.rollback_via(injected_at, now, |entries, idx| {
+            self.restore_from(entries, idx)
+        });
+        self.ber = Some(ber);
+        let Some((taken_at, restored)) = rolled else {
             self.unrecoverable = true; // error escaped the checkpoint window
             return false;
         };
-        let Some(snap) = cp.state else {
+        if !restored {
             self.unrecoverable = true; // checkpoint predates recovery arming
             return false;
-        };
+        }
         self.recovery_attempts += 1;
         self.episode_attempts += 1;
         let attempt = self.episode_attempts;
-        let depth = now.saturating_sub(cp.taken_at);
+        let depth = now.saturating_sub(taken_at);
         self.window_rollback_depth = self.window_rollback_depth.max(depth);
         if let Some(ep) = self.episode.as_mut() {
             ep.attempts = attempt;
@@ -969,7 +1269,7 @@ impl System {
             ring.set_now(now);
             ring.record(CheckerEvent::RecoveryStarted {
                 attempt,
-                checkpoint: cp.taken_at,
+                checkpoint: taken_at,
             });
         }
         // A second attempt means the error survived one clean replay:
@@ -984,15 +1284,12 @@ impl System {
                 ring.record(CheckerEvent::RecoveryEscalated { attempt });
             }
         }
-        // Restore — squashes everything younger than the checkpoint.
-        self.cores = snap.cores;
-        self.cluster = snap.cluster;
-        self.rng = snap.rng;
-        self.progress = snap.progress;
+        // The restore itself already ran inside `rollback_via`; clear the
+        // live evidence it squashed.
         self.violations.clear();
         self.hung = false;
         self.first_violation_node = None;
-        self.recovery_checkpoint = cp.taken_at;
+        self.recovery_checkpoint = taken_at;
         // An armed-but-unapplied network fault must not re-trip on replay.
         self.cluster.data_net_mut().disarm_fault();
         // The restore squashed every outstanding fault's effects.
@@ -1006,6 +1303,202 @@ impl System {
         }
         self.fault_done = self.pending_faults.is_empty();
         true
+    }
+
+    /// Reconstructs the machine at `entries[idx]` (the recovery point the
+    /// log selected). Returns `false` when that checkpoint carries no
+    /// restorable state (BER armed without recovery).
+    fn restore_from(&mut self, entries: &[Checkpoint<MachineCheckpoint>], idx: usize) -> bool {
+        let taken_at = entries[idx].taken_at;
+        match &entries[idx].state {
+            MachineCheckpoint::Unarmed => return false,
+            MachineCheckpoint::Whole(snap) => {
+                self.cores = snap.cores.clone();
+                self.cluster = snap.cluster.clone();
+                self.rng = snap.rng.clone();
+                self.progress = snap.progress.clone();
+                self.ckpt_stats.parts_restored += 2 * self.cfg.nodes as u64 + 2;
+            }
+            MachineCheckpoint::Delta(_) => self.restore_from_deltas(entries, idx, taken_at),
+        }
+        self.ckpt_stats.rollbacks += 1;
+        true
+    }
+
+    /// The newest delta at or before the recovery point that captured the
+    /// part `pick` selects, scanning `log` (entries up to and including
+    /// the recovery point) newest-first.
+    fn newest_part<'a, T>(
+        log: &'a [Checkpoint<MachineCheckpoint>],
+        pick: impl Fn(&'a Delta) -> Option<&'a T>,
+    ) -> Option<&'a T> {
+        log.iter().rev().find_map(|cp| match &cp.state {
+            MachineCheckpoint::Delta(d) => pick(d),
+            _ => None,
+        })
+    }
+
+    /// Delta-log rollback: undo-replay reconstruction at `taken_at`.
+    ///
+    /// The parts that must be restored are those touched after the
+    /// recovery point — captured by a younger (poisoned) delta or dirtied
+    /// since the newest capture. Each is restored from the newest delta at
+    /// or before the recovery point that carries it, falling back to the
+    /// base image. Cores are restored unconditionally: a clean idle core
+    /// still drains its decode countdown every cycle, so its live value
+    /// postdates any image — the image is restored and then caught up
+    /// over the provably-inert gap.
+    fn restore_from_deltas(
+        &mut self,
+        entries: &[Checkpoint<MachineCheckpoint>],
+        idx: usize,
+        taken_at: Cycle,
+    ) {
+        let n = self.cfg.nodes;
+        let mut dirty = self.cluster.dirty_parts();
+        for cp in &entries[idx + 1..] {
+            if let MachineCheckpoint::Delta(d) = &cp.state {
+                for &(i, _) in &d.nodes {
+                    dirty.nodes[i] = true;
+                }
+                for &(i, _) in &d.home_ctrls {
+                    dirty.homes[i] = true;
+                }
+                for &(i, _) in &d.home_mems {
+                    dirty.home_mems[i] = true;
+                }
+                dirty.data_net |= d.data_net.is_some();
+                dirty.addr_net |= d.addr_net.is_some();
+            }
+        }
+        let log = &entries[..=idx];
+        let base = self.base.take().expect("delta log always has a base");
+        // Cores: newest image at or before the recovery point, else base,
+        // then catch up over the clean span.
+        for i in 0..n {
+            let mut image = &base.cores[i];
+            let mut image_at = self.base_core_at[i];
+            for cp in log.iter().rev() {
+                if let MachineCheckpoint::Delta(d) = &cp.state {
+                    if let Some((_, c)) = d.cores.iter().find(|&&(j, _)| j == i) {
+                        image = c;
+                        image_at = cp.taken_at;
+                        break;
+                    }
+                }
+            }
+            self.cores[i] = image.clone();
+            let gap = taken_at.saturating_sub(image_at);
+            self.cores[i].catch_up(gap);
+            self.ckpt_stats.undo_replay_cycles += gap;
+            self.ckpt_stats.parts_restored += 1;
+        }
+        for i in 0..n {
+            if dirty.nodes[i] {
+                match Self::newest_part(log, |d| {
+                    d.nodes.iter().find(|&&(j, _)| j == i).map(|(_, x)| x)
+                }) {
+                    Some(img) => self.cluster.restore_node(nid(i), img),
+                    None => self.cluster.restore_node(nid(i), &base.cluster.node_image(nid(i))),
+                }
+                self.ckpt_stats.parts_restored += 1;
+            }
+            if dirty.homes[i] {
+                match Self::newest_part(log, |d| {
+                    d.home_ctrls.iter().find(|&&(j, _)| j == i).map(|(_, x)| x)
+                }) {
+                    Some(img) => self.cluster.restore_home_ctrl(nid(i), img),
+                    None => self
+                        .cluster
+                        .restore_home_ctrl(nid(i), &base.cluster.home_ctrl_image(nid(i))),
+                }
+                self.ckpt_stats.parts_restored += 1;
+            }
+            if dirty.home_mems[i] {
+                match Self::newest_part(log, |d| {
+                    d.home_mems.iter().find(|&&(j, _)| j == i).map(|(_, x)| x)
+                }) {
+                    Some(img) => self.cluster.restore_home_mem(nid(i), img),
+                    None => self
+                        .cluster
+                        .restore_home_mem(nid(i), &base.cluster.home_mem_image(nid(i))),
+                }
+                self.ckpt_stats.parts_restored += 1;
+            }
+        }
+        if dirty.data_net {
+            match Self::newest_part(log, |d| d.data_net.as_ref()) {
+                Some(img) => self.cluster.restore_data_net(img),
+                None => self.cluster.restore_data_net(&base.cluster.data_net_image()),
+            }
+            self.ckpt_stats.parts_restored += 1;
+        }
+        if dirty.addr_net {
+            match Self::newest_part(log, |d| d.addr_net.as_ref()) {
+                Some(img) => self.cluster.restore_addr_net(img),
+                None => self.cluster.restore_addr_net(&base.cluster.addr_net_image()),
+            }
+            self.ckpt_stats.parts_restored += 1;
+        }
+        // Misc rides in every delta; the recovery point's copy is exact.
+        if let MachineCheckpoint::Delta(d) = &entries[idx].state {
+            self.rng = d.misc.rng.clone();
+            self.progress = d.misc.progress.clone();
+            self.cluster
+                .set_traffic_counters(d.misc.checker_bytes, d.misc.ber_bytes);
+        }
+        self.base = Some(base);
+        // Rewind the cluster clock, then re-stamp every controller the
+        // way `advance_to` does for a skipped span (an equal-target
+        // advance performs exactly the idle stamp at `taken_at - 1`).
+        self.cluster.set_now(taken_at);
+        self.cluster.advance_to(taken_at);
+        // Everything now matches the checkpoint; captures restart clean.
+        self.cluster.clear_dirty();
+        self.core_dirty.fill(false);
+    }
+
+    /// Bench hook: captures one checkpoint immediately (at the cadence's
+    /// next boundary, wherever the clock is) and returns the approximate
+    /// bytes it logged. Zero when BER is off or recovery is unarmed.
+    pub fn force_checkpoint(&mut self) -> u64 {
+        let Some(mut ber) = self.ber.take() else {
+            return 0;
+        };
+        let before = self.ckpt_stats.bytes_logged;
+        let at = ber.next_checkpoint_at();
+        let bytes = ber.config().coordination_bytes;
+        let nodes = self.cfg.nodes;
+        let reclaimed = ber.tick_with_reclaimed(at, || {
+            for i in 1..nodes {
+                self.cluster.send_ber(nid(i), NodeId(0), bytes);
+                self.cluster.send_ber(NodeId(0), nid(i), bytes);
+            }
+            self.checkpoint_payload()
+        });
+        self.ber = Some(ber);
+        self.fold_reclaimed(reclaimed);
+        self.ckpt_stats.bytes_logged - before
+    }
+
+    /// Bench hook: rolls back to the newest held checkpoint, bypassing
+    /// the validation-latency filter, and returns the cycle restored.
+    /// `None` when recovery is off or the log is empty. Repeatable: the
+    /// recovery point stays in the log.
+    pub fn force_rollback(&mut self) -> Option<Cycle> {
+        let mut ber = self.ber.take()?;
+        let rolled = ber.rollback_via(u64::MAX, u64::MAX, |entries, idx| {
+            self.restore_from(entries, idx)
+        });
+        self.ber = Some(ber);
+        match rolled {
+            Some((taken_at, true)) => {
+                self.violations.clear();
+                self.hung = false;
+                Some(taken_at)
+            }
+            _ => None,
+        }
     }
 
     /// The node a detection is attributed to: the violation names one, or
@@ -1143,6 +1636,7 @@ impl System {
             } else {
                 Vec::new()
             },
+            checkpoint: self.ckpt_stats,
         }
     }
 }

@@ -64,7 +64,12 @@ pub struct ServiceStream {
     mean_gap: u32,
     /// Absolute cycle of the next arrival.
     next_arrival: Cycle,
-    queue: VecDeque<Instr>,
+    /// Queued instructions, each with the arrival stamp of the request it
+    /// completes (only the final publish store carries one: its commit
+    /// closes the arrival→commit queueing-delay measurement).
+    queue: VecDeque<(Instr, Option<Cycle>)>,
+    /// Arrival stamp of the most recently popped instruction.
+    last_arrival: Option<Cycle>,
     /// Requests generated so far (the progress metric: arrivals are
     /// deterministic in simulated time, so this is comparable across
     /// protocols and models).
@@ -93,6 +98,7 @@ impl ServiceStream {
             mean_gap: mean_gap.max(1),
             next_arrival: first,
             queue: VecDeque::new(),
+            last_arrival: None,
             generated: 0,
             value_counter: 0,
         }
@@ -120,8 +126,10 @@ impl ServiceStream {
         (self.tid << 48) | self.value_counter
     }
 
-    /// Appends one request body to the queue.
-    fn generate_request(&mut self) {
+    /// Appends one request body to the queue. `arrival` is the cycle the
+    /// request arrived; it stamps the final publish store so the core can
+    /// measure the arrival→commit queueing delay.
+    fn generate_request(&mut self, arrival: Cycle) {
         self.generated += 1;
         let hot = self.draw_hot_rank();
         let words = dvmc_types::WORDS_PER_BLOCK as u64;
@@ -131,31 +139,39 @@ impl ServiceStream {
         // Read the hot block (coherence traffic under Zipf skew).
         for _ in 0..reads {
             let w = self.rng.gen::<u64>() % words;
-            self.queue.push_back(Instr::load(self.layout.shared_word(hot_base + w).0));
+            self.queue
+                .push_back((Instr::load(self.layout.shared_word(hot_base + w).0), None));
             let compute = self.rng.gen_range(1..=3u32);
-            self.queue.push_back(Instr::Delay(compute));
+            self.queue.push_back((Instr::Delay(compute), None));
         }
         // Private scratch work.
         for _ in 0..scratch {
             let idx = self.rng.gen::<u64>();
             let v = self.unique_value();
-            self.queue.push_back(Instr::store(self.layout.private_word(self.tid, idx).0, v));
+            self.queue
+                .push_back((Instr::store(self.layout.private_word(self.tid, idx).0, v), None));
         }
         // Publish: release fence (per current model), then the hot store.
         match self.model {
             Model::Rmo => self
                 .queue
-                .push_back(Instr::membar(MembarMask::LS | MembarMask::SS)),
-            Model::Pso => self.queue.push_back(Instr::Mem {
-                class: OpClass::Stbar,
-                addr: WordAddr(0),
-                store_value: 0,
-            }),
+                .push_back((Instr::membar(MembarMask::LS | MembarMask::SS), None)),
+            Model::Pso => self.queue.push_back((
+                Instr::Mem {
+                    class: OpClass::Stbar,
+                    addr: WordAddr(0),
+                    store_value: 0,
+                },
+                None,
+            )),
             _ => {}
         }
         let w = self.rng.gen::<u64>() % words;
         let v = self.unique_value();
-        self.queue.push_back(Instr::store(self.layout.shared_word(hot_base + w).0, v));
+        self.queue.push_back((
+            Instr::store(self.layout.shared_word(hot_base + w).0, v),
+            Some(arrival),
+        ));
     }
 }
 
@@ -168,26 +184,36 @@ impl InstrStream for ServiceStream {
     }
 
     fn next_at(&mut self, now: Cycle) -> Fetch {
-        if let Some(i) = self.queue.pop_front() {
+        if let Some((i, a)) = self.queue.pop_front() {
+            self.last_arrival = a;
             return Fetch::Instr(i);
         }
         // Open loop: arrivals accrue against wall-clock time. A machine
         // stalled through a fault storm finds the backlog waiting.
         while self.next_arrival <= now {
+            let arrival = self.next_arrival;
             let gap = self.draw_gap();
             self.next_arrival += gap;
-            self.generate_request();
+            self.generate_request(arrival);
             if self.queue.len() > 4096 {
                 break; // bound decode-side memory under pathological stalls
             }
         }
         match self.queue.pop_front() {
-            Some(i) => Fetch::Instr(i),
+            Some((i, a)) => {
+                self.last_arrival = a;
+                Fetch::Instr(i)
+            }
             None => {
+                self.last_arrival = None;
                 let wait = (self.next_arrival - now).min(u32::MAX as u64) as u32;
                 Fetch::Instr(Instr::Delay(wait.max(1)))
             }
         }
+    }
+
+    fn last_arrival(&self) -> Option<Cycle> {
+        self.last_arrival
     }
 
     fn deliver(&mut self, _seq: SeqNum, _value: u64) {}
